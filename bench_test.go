@@ -1,0 +1,241 @@
+package tictac_test
+
+import (
+	"testing"
+
+	"tictac"
+	"tictac/internal/bench"
+)
+
+// One benchmark per table/figure of the paper. Each runs the experiment at
+// Quick scale (use cmd/tictac-bench -full for the paper-scale protocol) and
+// reports the headline quantity as a custom metric.
+
+func quickOpts() bench.Options {
+	o := bench.Quick()
+	o.Models = []string{"Inception v1", "ResNet-50 v2"}
+	return o
+}
+
+// BenchmarkTable1Models regenerates Table 1 (model characteristics).
+func BenchmarkTable1Models(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 10 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkUniqueOrders reproduces the §2.2 observation (unique transfer
+// orders across unscheduled iterations).
+func BenchmarkUniqueOrders(b *testing.B) {
+	o := quickOpts()
+	o.Models = []string{"Inception v3"}
+	o.Runs = 10
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.UniqueOrders(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].Unique)/float64(rows[0].Iterations), "unique/iter")
+	}
+}
+
+// BenchmarkFig7ScaleWorkers regenerates Figure 7 (speedup vs worker count).
+func BenchmarkFig7ScaleWorkers(b *testing.B) {
+	o := quickOpts()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig7ScaleWorkers(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 0.0
+		for _, r := range rows {
+			if r.SpeedupPct > best {
+				best = r.SpeedupPct
+			}
+		}
+		b.ReportMetric(best, "max-speedup-%")
+	}
+}
+
+// BenchmarkFig8Convergence regenerates Figure 8 (loss with and without
+// ordering, on the real TCP PS runtime).
+func BenchmarkFig8Convergence(b *testing.B) {
+	o := quickOpts()
+	o.TrainIters = 30
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig8Convergence(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxRelDiff, "max-loss-diff")
+	}
+}
+
+// BenchmarkFig9ScalePS regenerates Figure 9 (speedup vs PS count).
+func BenchmarkFig9ScalePS(b *testing.B) {
+	o := quickOpts()
+	o.Models = []string{"ResNet-50 v2"}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig9ScalePS(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10BatchScale regenerates Figure 10 (speedup vs batch factor).
+func BenchmarkFig10BatchScale(b *testing.B) {
+	o := quickOpts()
+	o.Models = []string{"ResNet-50 v2"}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig10BatchScale(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Efficiency regenerates Figure 11 (efficiency metric and
+// straggler effect).
+func BenchmarkFig11Efficiency(b *testing.B) {
+	o := quickOpts()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig11EfficiencyStraggler(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 1.0
+		for _, r := range rows {
+			if r.TicEfficiency < worst {
+				worst = r.TicEfficiency
+			}
+		}
+		b.ReportMetric(worst, "min-E(tic)")
+	}
+}
+
+// BenchmarkFig12Regression regenerates Figure 12 (E vs step-time regression
+// and CDFs).
+func BenchmarkFig12Regression(b *testing.B) {
+	o := quickOpts()
+	o.Runs = 25
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig12Regression(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Regression.R2, "R2")
+	}
+}
+
+// BenchmarkFig13TICvsTAC regenerates Figure 13 (TIC vs TAC on envC).
+func BenchmarkFig13TICvsTAC(b *testing.B) {
+	o := quickOpts()
+	o.Models = []string{"Inception v2"}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig13TICvsTAC(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEnforcement compares §5.1 enforcement locations.
+func BenchmarkAblationEnforcement(b *testing.B) {
+	o := quickOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationEnforcement(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOracle compares time-oracle estimators feeding TAC.
+func BenchmarkAblationOracle(b *testing.B) {
+	o := quickOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationOracle(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReorder measures sensitivity to RPC priority inversions.
+func BenchmarkAblationReorder(b *testing.B) {
+	o := quickOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationReorder(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllReduceExtension measures the §7 extension: ring all-reduce
+// with ordered vs arbitrary collective launches.
+func BenchmarkAllReduceExtension(b *testing.B) {
+	o := quickOpts()
+	o.Models = []string{"ResNet-50 v2"}
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AllReduceExtension(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].ARSpeedupPct, "ar-gain-%")
+	}
+}
+
+// --- micro-benchmarks of the core algorithms ---
+
+// BenchmarkTICResNet101 measures the ordering wizard's TIC cost on the
+// largest catalog model (the paper reports ~10s offline for its Python
+// implementation).
+func BenchmarkTICResNet101(b *testing.B) {
+	spec, _ := tictac.ModelByName("ResNet-101 v2")
+	g, err := tictac.BuildWorkerGraph(spec, tictac.Training, spec.Batch, "worker:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tictac.TIC(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTACResNet101 measures TAC on the largest catalog model.
+func BenchmarkTACResNet101(b *testing.B) {
+	spec, _ := tictac.ModelByName("ResNet-101 v2")
+	g, err := tictac.BuildWorkerGraph(spec, tictac.Training, spec.Batch, "worker:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := tictac.EnvG().Oracle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tictac.TAC(g, oracle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateIteration measures the discrete-event executor on a
+// 4-worker ResNet-50 v2 training graph.
+func BenchmarkSimulateIteration(b *testing.B) {
+	spec, _ := tictac.ModelByName("ResNet-50 v2")
+	c, err := tictac.BuildCluster(tictac.ClusterConfig{
+		Model: spec, Mode: tictac.Training, Workers: 4, PS: 1, Platform: tictac.EnvG(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunIteration(tictac.RunOptions{Seed: int64(i), Jitter: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command tictac runs the ordering wizard: it builds a model's worker DAG,
+// computes a TIC or TAC transfer schedule and prints the priority list.
+//
+// Usage:
+//
+//	tictac -model "ResNet-50 v2" -mode training -algo tac -env envG [-top 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tictac"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "ResNet-50 v2", "Table 1 model name (see -list)")
+		mode      = flag.String("mode", "training", "worker graph mode: training|inference")
+		algo      = flag.String("algo", "tic", "scheduling heuristic: tic|tac")
+		env       = flag.String("env", "envG", "platform profile for TAC's oracle: envG|envC")
+		top       = flag.Int("top", 0, "print only the first N transfers (0 = all)")
+		list      = flag.Bool("list", false, "list available models and exit")
+		outFile   = flag.String("o", "", "write the schedule as JSON to this file")
+		dotFile   = flag.String("dot", "", "write the worker DAG in Graphviz DOT format to this file")
+		jsonFile  = flag.String("graph-json", "", "write the worker DAG as JSON to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range tictac.Models() {
+			fmt.Printf("%-14s  #par=%-3d  %8.2f MiB  ops=%d/%d  batch=%d\n",
+				s.Name, s.Params, s.ParamMiB, s.OpsInference, s.OpsTraining, s.Batch)
+		}
+		return
+	}
+
+	spec, ok := tictac.ModelByName(*modelName)
+	if !ok {
+		fatalf("unknown model %q (use -list)", *modelName)
+	}
+	var m tictac.Mode
+	switch strings.ToLower(*mode) {
+	case "training", "train":
+		m = tictac.Training
+	case "inference", "infer":
+		m = tictac.Inference
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+	g, err := tictac.BuildWorkerGraph(spec, m, spec.Batch, "worker:0")
+	if err != nil {
+		fatalf("build: %v", err)
+	}
+
+	var sched *tictac.Schedule
+	switch strings.ToLower(*algo) {
+	case "tic":
+		sched, err = tictac.TIC(g)
+	case "tac":
+		platform := tictac.EnvG()
+		if strings.EqualFold(*env, "envC") {
+			platform = tictac.EnvC()
+		}
+		sched, err = tictac.TAC(g, platform.Oracle())
+	default:
+		fatalf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		fatalf("schedule: %v", err)
+	}
+
+	oracle := tictac.EnvG().Oracle()
+	upper, lower := tictac.Bounds(g, oracle)
+	fmt.Printf("model: %s (%s), %d ops, %d transfers\n", spec.Name, m, g.Len(), len(sched.Order))
+	fmt.Printf("theoretical speedup S = %.3f (UMakespan %.4fs, LMakespan %.4fs)\n",
+		tictac.Speedup(g, oracle), upper, lower)
+	fmt.Printf("%s priority order:\n", strings.ToUpper(*algo))
+	n := len(sched.Order)
+	if *top > 0 && *top < n {
+		n = *top
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("  %3d  %s\n", i, sched.Order[i])
+	}
+	if n < len(sched.Order) {
+		fmt.Printf("  ... %d more\n", len(sched.Order)-n)
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatalf("create %s: %v", *outFile, err)
+		}
+		defer f.Close()
+		if err := sched.WriteJSON(f); err != nil {
+			fatalf("write schedule: %v", err)
+		}
+		fmt.Printf("schedule written to %s\n", *outFile)
+	}
+	if *dotFile != "" {
+		if err := os.WriteFile(*dotFile, []byte(tictac.GraphDOT(g, spec.Name)), 0o644); err != nil {
+			fatalf("write dot: %v", err)
+		}
+		fmt.Printf("DOT graph written to %s\n", *dotFile)
+	}
+	if *jsonFile != "" {
+		f, err := os.Create(*jsonFile)
+		if err != nil {
+			fatalf("create %s: %v", *jsonFile, err)
+		}
+		defer f.Close()
+		if err := g.WriteJSON(f); err != nil {
+			fatalf("write graph json: %v", err)
+		}
+		fmt.Printf("graph JSON written to %s\n", *jsonFile)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tictac: "+format+"\n", args...)
+	os.Exit(1)
+}

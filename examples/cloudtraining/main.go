@@ -1,0 +1,60 @@
+// Cloud training: scaling synchronized data-parallel training.
+//
+// The paper's headline training scenario — Model-Replica with Parameter
+// Servers on commodity cloud hardware — swept over worker counts with
+// PS:workers fixed at 1:4. This example trains ResNet-50 v2 at 4, 8 and 16
+// workers, comparing baseline transfer ordering against TIC and reporting
+// throughput, efficiency and straggler effect at each scale.
+//
+// Run: go run ./examples/cloudtraining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tictac"
+)
+
+func main() {
+	spec, ok := tictac.ModelByName("ResNet-50 v2")
+	if !ok {
+		log.Fatal("model missing")
+	}
+	fmt.Printf("%s training on envG (PS:workers = 1:4)\n\n", spec.Name)
+	fmt.Printf("%3s %3s %14s %14s %9s %12s %12s\n",
+		"W", "PS", "base smp/s", "tic smp/s", "gain%", "stragg base", "stragg tic")
+
+	for _, workers := range []int{4, 8, 16} {
+		ps := workers / 4
+		if ps < 1 {
+			ps = 1
+		}
+		c, err := tictac.BuildCluster(tictac.ClusterConfig{
+			Model: spec, Mode: tictac.Training,
+			Workers: workers, PS: ps, Platform: tictac.EnvG(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched, err := c.ComputeSchedule(tictac.AlgoTIC, 0, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp := tictac.DefaultExperiment
+		base, err := c.Run(exp, tictac.RunOptions{Seed: 1, Jitter: -1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tic, err := c.Run(exp, tictac.RunOptions{Schedule: sched, Seed: 99, Jitter: -1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%3d %3d %14.1f %14.1f %8.1f%% %11.1f%% %11.1f%%\n",
+			workers, ps, base.MeanThroughput, tic.MeanThroughput,
+			(tic.MeanThroughput-base.MeanThroughput)/base.MeanThroughput*100,
+			base.MaxStragglerPct, tic.MaxStragglerPct)
+	}
+	fmt.Println("\nGains shrink as workers/PS grow: once the PS links saturate, overlap")
+	fmt.Println("has nothing left to hide (§6.1's threshold effect).")
+}

@@ -1,0 +1,172 @@
+package tictac_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tictac"
+	"tictac/internal/core"
+	"tictac/internal/data"
+	"tictac/internal/graph"
+	"tictac/internal/sim"
+	"tictac/internal/timing"
+	"tictac/internal/train"
+)
+
+// TestSimAndRealStackEnforceSameOrder is the cross-stack consistency check:
+// the discrete-event simulator's priority policy and the real TCP server's
+// §5.1 counter module must realize the same transfer order for the same
+// schedule.
+func TestSimAndRealStackEnforceSameOrder(t *testing.T) {
+	cfg := train.MLPConfig{Features: 12, Hidden: 8, Classes: 3, LR: 0.1, Seed: 2}
+	g := train.BuildGraph(cfg, "worker:0")
+	sched, err := core.TIC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulator order.
+	res, err := sim.Run(g, sim.Config{Oracle: timing.EnvC().Oracle(), Schedule: sched, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOrder := res.RecvStartOrder["worker:0"]
+
+	// Real-stack order.
+	ds, err := data.SyntheticClassification(64, cfg.Features, cfg.Classes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := train.TrainParallel(ds, cfg, 1, 3, 8, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter, order := range real.ArrivalOrders {
+		if len(order) != len(simOrder) {
+			t.Fatalf("iter %d: %d transfers, sim had %d", iter, len(order), len(simOrder))
+		}
+		for i := range order {
+			if order[i] != simOrder[i] {
+				t.Fatalf("iter %d: real %v diverges from sim %v", iter, order, simOrder)
+			}
+		}
+	}
+	// And both match the wizard's schedule.
+	for i, k := range sched.Order {
+		if simOrder[i] != k {
+			t.Fatalf("sim order %v != schedule %v", simOrder, sched.Order)
+		}
+	}
+}
+
+// TestScheduleArtifactPipeline is the offline-wizard deployment flow: build
+// graph → schedule → serialize both → reload → validate → enforce.
+func TestScheduleArtifactPipeline(t *testing.T) {
+	spec, _ := tictac.ModelByName("AlexNet v2")
+	g, err := tictac.BuildWorkerGraph(spec, tictac.Training, spec.Batch, "worker:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := tictac.TAC(g, tictac.EnvG().Oracle())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gbuf, sbuf bytes.Buffer
+	if err := g.WriteJSON(&gbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.WriteJSON(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := tictac.ReadGraphJSON(&gbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched2, err := tictac.ReadScheduleJSON(&sbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tictac.ValidateSchedule(g2, sched2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tictac.Simulate(g2, tictac.SimConfig{Oracle: tictac.EnvG().Oracle(), Schedule: sched2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.RecvStartOrder["worker:0"]
+	for i, k := range sched.Order {
+		if got[i] != k {
+			t.Fatalf("reloaded schedule order diverged at %d", i)
+		}
+	}
+	if res.Overlap() < 0 || res.Overlap() > 1 {
+		t.Fatalf("overlap = %v", res.Overlap())
+	}
+	util := res.Utilization()
+	for r, u := range util {
+		if u < 0 || u > 1.0001 {
+			t.Fatalf("utilization[%s] = %v", r, u)
+		}
+	}
+	if dot := tictac.GraphDOT(g2, "alexnet"); len(dot) < 100 {
+		t.Fatal("DOT output suspiciously small")
+	}
+}
+
+// TestEndToEndTICBeatsAdversarialAcrossEnvs: on both platform profiles, the
+// enforced TIC order must beat the reverse (adversarial) order on a
+// communication-heavy model.
+func TestEndToEndTICBeatsAdversarialAcrossEnvs(t *testing.T) {
+	spec, _ := tictac.ModelByName("ResNet-50 v1")
+	for _, platform := range []tictac.Platform{tictac.EnvG(), tictac.EnvC()} {
+		g, err := tictac.BuildWorkerGraph(spec, tictac.Inference, spec.Batch, "worker:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tic, err := tictac.TIC(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv := &tictac.Schedule{Algorithm: "adv", Rank: map[string]int{}}
+		for i := len(tic.Order) - 1; i >= 0; i-- {
+			adv.Order = append(adv.Order, tic.Order[i])
+		}
+		for i, k := range adv.Order {
+			adv.Rank[k] = i
+		}
+		good, err := tictac.Simulate(g, tictac.SimConfig{Oracle: platform.Oracle(), Schedule: tic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad, err := tictac.Simulate(g, tictac.SimConfig{Oracle: platform.Oracle(), Schedule: adv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if good.Makespan >= bad.Makespan {
+			t.Fatalf("%s: TIC %.4f not faster than adversarial %.4f",
+				platform.Name, good.Makespan, bad.Makespan)
+		}
+	}
+}
+
+// TestGraphStatsMatchSpecAcrossCatalog cross-checks graph.CollectStats
+// against the model specs through the public facade.
+func TestGraphStatsMatchSpecAcrossCatalog(t *testing.T) {
+	for _, spec := range tictac.Models() {
+		g, err := tictac.BuildWorkerGraph(spec, tictac.Training, spec.Batch, "worker:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := graph.CollectStats(g)
+		if st.Ops != spec.OpsTraining {
+			t.Fatalf("%s: stats ops %d != %d", spec.Name, st.Ops, spec.OpsTraining)
+		}
+		if st.Params != spec.Params {
+			t.Fatalf("%s: stats params %d != %d", spec.Name, st.Params, spec.Params)
+		}
+		if st.ParamBytes != spec.ParamBytes() {
+			t.Fatalf("%s: stats bytes %d != %d", spec.Name, st.ParamBytes, spec.ParamBytes())
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"io"
+
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+	"tictac/internal/model"
+	"tictac/internal/sim"
+	"tictac/internal/stats"
+	"tictac/internal/timing"
+)
+
+// AblationRow is one variant of an ablation study.
+type AblationRow struct {
+	Study      string
+	Variant    string
+	Tput       float64 // samples/second
+	Efficiency float64 // mean E
+	SpeedupPct float64 // vs that study's baseline variant
+}
+
+// AblationEnforcement compares the enforcement locations of §5.1: no
+// enforcement, sender-side counter gating (the paper's choice) and
+// conservative DAG-edge chaining (rejected: serializes transfers across
+// channels). VGG-16 training, 8 workers, 4 PS, envG — multiple channels per
+// worker make the difference visible.
+func AblationEnforcement(o Options) ([]AblationRow, error) {
+	o = o.withDefaults()
+	spec, _ := model.ByName("VGG-16")
+	cfg := cluster.Config{Model: spec, Mode: model.Training, Workers: 8, PS: 4, Platform: timing.EnvG()}
+	c, err := cluster.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := c.ComputeSchedule(core.AlgoTIC, 0, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	base, err := c.Run(o.experiment(), cluster.RunOptions{Seed: o.Seed, Jitter: -1})
+	if err != nil {
+		return nil, err
+	}
+	sender, err := c.Run(o.experiment(), cluster.RunOptions{Schedule: sched, Seed: o.Seed + 1, Jitter: -1})
+	if err != nil {
+		return nil, err
+	}
+	// DAG chaining: the order is enforced by extra edges, not priorities.
+	chained, err := c.ChainRecvsByOrder(sched.Order)
+	if err != nil {
+		return nil, err
+	}
+	batch := spec.Batch
+	var chainTputs []float64
+	for i := 0; i < o.Measure; i++ {
+		res, err := sim.Run(chained, sim.Config{
+			Oracle: cfg.Platform.Oracle(),
+			Seed:   o.Seed + int64(i)*31,
+			Jitter: cfg.Platform.Jitter,
+		})
+		if err != nil {
+			return nil, err
+		}
+		chainTputs = append(chainTputs, float64(batch*cfg.Workers)/res.Makespan)
+	}
+	chainTput := stats.Mean(chainTputs)
+	return []AblationRow{
+		{Study: "enforcement", Variant: "none", Tput: base.MeanThroughput, Efficiency: base.MeanEfficiency},
+		{Study: "enforcement", Variant: "sender-counter", Tput: sender.MeanThroughput, Efficiency: sender.MeanEfficiency,
+			SpeedupPct: speedupPct(base.MeanThroughput, sender.MeanThroughput)},
+		{Study: "enforcement", Variant: "dag-chained", Tput: chainTput,
+			SpeedupPct: speedupPct(base.MeanThroughput, chainTput)},
+	}, nil
+}
+
+// AblationOracle compares time-oracle estimators feeding TAC: min of k runs
+// (the paper's choice), mean of k, and last sample. Inception v2 training,
+// 4 workers, 1 PS, envC.
+func AblationOracle(o Options) ([]AblationRow, error) {
+	o = o.withDefaults()
+	spec, _ := model.ByName("Inception v2")
+	cfg := cluster.Config{Model: spec, Mode: model.Training, Workers: 4, PS: 1, Platform: timing.EnvC()}
+	c, err := cluster.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	base, err := c.Run(o.experiment(), cluster.RunOptions{Seed: o.Seed, Jitter: -1})
+	if err != nil {
+		return nil, err
+	}
+	rows := []AblationRow{
+		{Study: "oracle", Variant: "baseline", Tput: base.MeanThroughput, Efficiency: base.MeanEfficiency},
+	}
+	for _, kind := range []timing.EstimateKind{timing.EstimateMin, timing.EstimateMean, timing.EstimateLast} {
+		oracle, err := c.TraceOracle(5, o.Seed, kind)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := core.TAC(c.ReferenceWorker(), oracle)
+		if err != nil {
+			return nil, err
+		}
+		out, err := c.Run(o.experiment(), cluster.RunOptions{Schedule: sched, Seed: o.Seed + 17, Jitter: -1})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Study: "oracle", Variant: "tac-" + kind.String(),
+			Tput: out.MeanThroughput, Efficiency: out.MeanEfficiency,
+			SpeedupPct: speedupPct(base.MeanThroughput, out.MeanThroughput),
+		})
+	}
+	return rows, nil
+}
+
+// AblationReorder measures the sensitivity of TIC to RPC-level priority
+// inversions (§5.1 reports ≈0.4–0.5% inversions in practice): probabilities
+// 0, 0.5%, 5% and 20%. ResNet-50 v2 training, 4 workers, 1 PS, envG.
+func AblationReorder(o Options) ([]AblationRow, error) {
+	o = o.withDefaults()
+	spec, _ := model.ByName("ResNet-50 v2")
+	cfg := cluster.Config{Model: spec, Mode: model.Training, Workers: 4, PS: 1, Platform: timing.EnvG()}
+	c, err := cluster.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := c.ComputeSchedule(core.AlgoTIC, 0, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	base, err := c.Run(o.experiment(), cluster.RunOptions{Seed: o.Seed, Jitter: -1})
+	if err != nil {
+		return nil, err
+	}
+	rows := []AblationRow{
+		{Study: "reorder", Variant: "baseline", Tput: base.MeanThroughput, Efficiency: base.MeanEfficiency},
+	}
+	for _, prob := range []float64{0, 0.005, 0.05, 0.2} {
+		out, err := c.Run(o.experiment(), cluster.RunOptions{
+			Schedule: sched, Seed: o.Seed + 29, Jitter: -1, ReorderProb: prob,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Study: "reorder", Variant: "tic-p" + f3(prob),
+			Tput: out.MeanThroughput, Efficiency: out.MeanEfficiency,
+			SpeedupPct: speedupPct(base.MeanThroughput, out.MeanThroughput),
+		})
+	}
+	return rows, nil
+}
+
+// AblationNetworkModel compares the two network extremes: one serialized
+// channel per worker↔PS pair (the default, gRPC-style) versus one shared
+// queue per PS NIC (PS-uplink-bound clusters). Under a shared NIC the
+// scheduling contention is global per PS, so enforced ordering matters at
+// least as much. ResNet-50 v2 training, 8 workers, 2 PS, envC (1 GbE).
+func AblationNetworkModel(o Options) ([]AblationRow, error) {
+	o = o.withDefaults()
+	spec, _ := model.ByName("ResNet-50 v2")
+	var rows []AblationRow
+	for _, shared := range []bool{false, true} {
+		cfg := cluster.Config{
+			Model: spec, Mode: model.Training,
+			Workers: 8, PS: 2, Platform: timing.EnvC(),
+			SharedPSNIC: shared,
+		}
+		base, tic, _, err := runPair(cfg, core.AlgoTIC, o)
+		if err != nil {
+			return nil, err
+		}
+		label := "per-pair-channels"
+		if shared {
+			label = "shared-ps-nic"
+		}
+		rows = append(rows,
+			AblationRow{Study: "network", Variant: label + "/base", Tput: base.MeanThroughput, Efficiency: base.MeanEfficiency},
+			AblationRow{Study: "network", Variant: label + "/tic", Tput: tic.MeanThroughput, Efficiency: tic.MeanEfficiency,
+				SpeedupPct: speedupPct(base.MeanThroughput, tic.MeanThroughput)},
+		)
+	}
+	return rows, nil
+}
+
+// WriteAblation renders ablation rows as text.
+func WriteAblation(w io.Writer, title string, rows []AblationRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Study, r.Variant, f1(r.Tput), f3(r.Efficiency), f1(r.SpeedupPct)})
+	}
+	RenderTable(w, title, []string{"Study", "Variant", "Tput", "E", "SpeedUp%"}, cells)
+}

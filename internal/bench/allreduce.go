@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"io"
+
+	"tictac/internal/cluster"
+	"tictac/internal/collective"
+	"tictac/internal/core"
+	"tictac/internal/model"
+	"tictac/internal/sim"
+	"tictac/internal/stats"
+	"tictac/internal/timing"
+)
+
+// AllReduceRow compares the PS aggregation path (baseline and TIC) against
+// a ring all-reduce substrate (baseline launch order and production-order
+// launches) — the §7 future-work extension.
+type AllReduceRow struct {
+	Model   string
+	Workers int
+	// Samples/second under each aggregation/scheduling combination.
+	PSBase, PSTic, ARBase, AROrdered float64
+	// ARSpeedupPct is the gain of ordered collective launches over the
+	// arbitrary launch order.
+	ARSpeedupPct float64
+}
+
+// AllReduceExtension measures training throughput for PS (1 PS per 4
+// workers) versus ring all-reduce on envG.
+func AllReduceExtension(o Options) ([]AllReduceRow, error) {
+	o = o.withDefaults()
+	names := o.Models
+	if names == nil {
+		names = []string{"ResNet-50 v2", "VGG-16", "Inception v3"}
+	}
+	var rows []AllReduceRow
+	for _, name := range names {
+		spec, ok := model.ByName(name)
+		if !ok {
+			continue
+		}
+		for _, workers := range []int{4, 8} {
+			ps := workers / 4
+			if ps < 1 {
+				ps = 1
+			}
+			psCfg := cluster.Config{
+				Model: spec, Mode: model.Training,
+				Workers: workers, PS: ps, Platform: timing.EnvG(),
+			}
+			psBase, psTic, _, err := runPair(psCfg, core.AlgoTIC, o)
+			if err != nil {
+				return nil, err
+			}
+
+			ring, err := collective.Build(collective.Config{
+				Model: spec, Workers: workers, Platform: timing.EnvG(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			launch, err := ring.LaunchSchedule()
+			if err != nil {
+				return nil, err
+			}
+			arBase, err := ringThroughput(ring, nil, o)
+			if err != nil {
+				return nil, err
+			}
+			arOrdered, err := ringThroughput(ring, launch, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AllReduceRow{
+				Model:        spec.Name,
+				Workers:      workers,
+				PSBase:       psBase.MeanThroughput,
+				PSTic:        psTic.MeanThroughput,
+				ARBase:       arBase,
+				AROrdered:    arOrdered,
+				ARSpeedupPct: speedupPct(arBase, arOrdered),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func ringThroughput(ring *collective.Ring, sched *core.Schedule, o Options) (float64, error) {
+	batch := ring.Config.Model.Batch
+	if ring.Config.BatchFactor > 0 {
+		batch = int(float64(batch) * ring.Config.BatchFactor)
+	}
+	var tputs []float64
+	for i := 0; i < o.Measure; i++ {
+		res, err := sim.Run(ring.Graph, sim.Config{
+			Oracle:   ring.Oracle(),
+			Schedule: sched,
+			Seed:     o.Seed + int64(i)*53,
+			Jitter:   ring.Config.Platform.Jitter,
+		})
+		if err != nil {
+			return 0, err
+		}
+		tputs = append(tputs, float64(batch*ring.Config.Workers)/res.Makespan)
+	}
+	return stats.Mean(tputs), nil
+}
+
+// WriteAllReduce renders the rows as text.
+func WriteAllReduce(w io.Writer, rows []AllReduceRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Model, itoa(r.Workers),
+			f1(r.PSBase), f1(r.PSTic), f1(r.ARBase), f1(r.AROrdered), f1(r.ARSpeedupPct),
+		})
+	}
+	RenderTable(w, "Extension (§7): PS vs ring all-reduce, arbitrary vs ordered collective launches (envG, training)",
+		[]string{"Model", "W", "PS(base)", "PS(tic)", "AR(base)", "AR(ordered)", "AR-gain%"}, cells)
+}

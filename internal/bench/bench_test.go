@@ -1,0 +1,381 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quick() Options {
+	o := Quick()
+	o.Models = []string{"Inception v1", "ResNet-50 v2"}
+	return o
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Params <= 0 || r.TotalMiB <= 0 || r.OpsTraining <= r.OpsInference {
+			t.Fatalf("suspicious row %+v", r)
+		}
+	}
+	// Spot-check against Table 1.
+	for _, r := range rows {
+		if r.Model == "VGG-16" {
+			if r.Params != 32 || r.OpsInference != 388 || r.OpsTraining != 758 {
+				t.Fatalf("VGG-16 row %+v", r)
+			}
+			if r.TotalMiB < 527.5 || r.TotalMiB > 528.1 {
+				t.Fatalf("VGG-16 MiB %v", r.TotalMiB)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "AlexNet v2") {
+		t.Fatal("render missing model")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	o := quick()
+	rows, err := Fig7ScaleWorkers(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 models × 5 worker counts × 2 tasks.
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Communication-heavy models at low worker counts must show clear
+	// speedup; inference gains exceed training gains on average (paper §6.1).
+	var infSum, trainSum float64
+	var infN, trainN int
+	for _, r := range rows {
+		if r.BaseTput <= 0 || r.TicTput <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+		if r.Task == "inference" {
+			infSum += r.SpeedupPct
+			infN++
+		} else {
+			trainSum += r.SpeedupPct
+			trainN++
+		}
+	}
+	if infSum/float64(infN) <= trainSum/float64(trainN) {
+		t.Fatalf("inference mean speedup %.1f%% not above training %.1f%%",
+			infSum/float64(infN), trainSum/float64(trainN))
+	}
+	if infSum/float64(infN) < 5 {
+		t.Fatalf("inference mean speedup too small: %.1f%%", infSum/float64(infN))
+	}
+	var buf bytes.Buffer
+	WriteSweep(&buf, "fig7", rows)
+	if !strings.Contains(buf.String(), "SpeedUp%") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig9AndFig10Run(t *testing.T) {
+	o := quick()
+	o.Models = []string{"ResNet-50 v2"}
+	r9, err := Fig9ScalePS(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r9) != 6 { // 1 model × 3 PS counts × 2 tasks
+		t.Fatalf("fig9 rows = %d", len(r9))
+	}
+	r10, err := Fig10BatchScale(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r10) != 3 { // 1 model × 3 batch factors
+		t.Fatalf("fig10 rows = %d", len(r10))
+	}
+	for _, r := range r10 {
+		if r.Task != "inference" {
+			t.Fatalf("fig10 task = %s", r.Task)
+		}
+	}
+	// Scheduling with multiple PS still helps (paper §6.1).
+	for _, r := range r9 {
+		if r.Task == "inference" && r.SpeedupPct < -5 {
+			t.Fatalf("fig9 inference regressed: %+v", r)
+		}
+	}
+}
+
+func TestFig8LossCurvesMatch(t *testing.T) {
+	o := quick()
+	res, err := Fig8Convergence(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != o.TrainIters {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.MaxRelDiff > 1e-3 {
+		t.Fatalf("loss curves diverge: %v", res.MaxRelDiff)
+	}
+	// Loss decreases under both methods.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.LossNone >= first.LossNone || last.LossTIC >= first.LossTIC {
+		t.Fatalf("loss did not decrease: %+v → %+v", first, last)
+	}
+	var buf bytes.Buffer
+	WriteFig8(&buf, res)
+	if !strings.Contains(buf.String(), "max relative loss difference") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	o := quick()
+	rows, err := Fig11EfficiencyStraggler(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TicEfficiency < r.BaseEfficiency {
+			t.Fatalf("TIC efficiency below baseline: %+v", r)
+		}
+		if r.TicEfficiency < 0.9 {
+			t.Fatalf("TIC efficiency not near 1 on %s/%s: %v", r.Model, r.Task, r.TicEfficiency)
+		}
+		if r.TicStragglerPct > r.BaseStragglerPct+1 {
+			t.Fatalf("TIC worsened stragglers: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig11(&buf, rows)
+	if !strings.Contains(buf.String(), "Straggler%") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	o := quick()
+	res, err := Fig12Regression(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EffNone) != o.Runs || len(res.StepTAC) != o.Runs {
+		t.Fatal("sample sizes wrong")
+	}
+	// E predicts normalized step time with a strong linear fit (paper 0.98).
+	if res.Regression.R2 < 0.8 {
+		t.Fatalf("R² = %v", res.Regression.R2)
+	}
+	if res.Regression.Slope <= 0 {
+		t.Fatalf("slope = %v, want positive (higher E → faster step)", res.Regression.Slope)
+	}
+	// TAC's step-time distribution is far sharper and faster.
+	if res.P95TAC <= res.P95None {
+		t.Fatalf("p95: TAC %v <= baseline %v", res.P95TAC, res.P95None)
+	}
+	if res.P95TAC < 0.9 {
+		t.Fatalf("TAC p95 = %v, want near 1", res.P95TAC)
+	}
+	var buf bytes.Buffer
+	WriteFig12(&buf, res)
+	if !strings.Contains(buf.String(), "regression") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	o := quick()
+	o.Models = []string{"Inception v2", "AlexNet v2"}
+	rows, err := Fig13TICvsTAC(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// TIC and TAC land close to each other (paper: "performance of TIC
+		// is comparable to that of TAC").
+		if diff := r.TicSpeedupPct - r.TacSpeedupPct; diff > 25 || diff < -25 {
+			t.Fatalf("TIC/TAC gap too wide: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig13(&buf, rows)
+	if !strings.Contains(buf.String(), "TAC%") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestUniqueOrders(t *testing.T) {
+	o := quick()
+	o.Models = []string{"Inception v3"}
+	o.Runs = 12
+	rows, err := UniqueOrders(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// With 196 parameters, every random order should be unique (§2.2).
+	if rows[0].Unique != rows[0].Iterations {
+		t.Fatalf("unique = %d of %d", rows[0].Unique, rows[0].Iterations)
+	}
+	var buf bytes.Buffer
+	WriteUniqueOrders(&buf, rows)
+	if !strings.Contains(buf.String(), "UniqueOrders") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	o := quick()
+	enf, err := AblationEnforcement(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enf) != 3 {
+		t.Fatalf("enforcement rows = %d", len(enf))
+	}
+	// Sender-side gating must beat conservative DAG chaining (§5.1's
+	// argument for the design choice).
+	var sender, chained float64
+	for _, r := range enf {
+		switch r.Variant {
+		case "sender-counter":
+			sender = r.Tput
+		case "dag-chained":
+			chained = r.Tput
+		}
+	}
+	if sender <= chained {
+		t.Fatalf("sender-side (%v) not faster than DAG chaining (%v)", sender, chained)
+	}
+
+	orc, err := AblationOracle(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orc) != 4 {
+		t.Fatalf("oracle rows = %d", len(orc))
+	}
+
+	reo, err := AblationReorder(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reo) != 5 {
+		t.Fatalf("reorder rows = %d", len(reo))
+	}
+	// More inversions → no better efficiency than clean enforcement.
+	var clean, noisy float64
+	for _, r := range reo {
+		switch r.Variant {
+		case "tic-p0.000":
+			clean = r.Efficiency
+		case "tic-p0.200":
+			noisy = r.Efficiency
+		}
+	}
+	if noisy > clean+0.02 {
+		t.Fatalf("20%% inversions improved efficiency: %v vs %v", noisy, clean)
+	}
+	net, err := AblationNetworkModel(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net) != 4 {
+		t.Fatalf("network rows = %d", len(net))
+	}
+	// Shared-NIC TIC must still not regress against its own baseline.
+	for _, r := range net {
+		if r.Variant == "shared-ps-nic/tic" && r.SpeedupPct < -5 {
+			t.Fatalf("shared-NIC TIC regressed: %+v", r)
+		}
+	}
+
+	var buf bytes.Buffer
+	WriteAblation(&buf, "ablations", append(append(append(enf, orc...), reo...), net...))
+	if !strings.Contains(buf.String(), "sender-counter") || !strings.Contains(buf.String(), "shared-ps-nic") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestAllReduceExtension(t *testing.T) {
+	o := quick()
+	o.Models = []string{"ResNet-50 v2"}
+	rows, err := AllReduceExtension(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // 1 model × {4, 8} workers
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PSBase <= 0 || r.ARBase <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+		// Production-ordered launches should not lose to arbitrary order.
+		if r.ARSpeedupPct < -5 {
+			t.Fatalf("ordered launches regressed: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	WriteAllReduce(&buf, rows)
+	if !strings.Contains(buf.String(), "AR-gain%") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestPipelineExtension(t *testing.T) {
+	o := quick()
+	o.Models = []string{"ResNet-50 v2"}
+	rows, err := PipelineExtension(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaseTput <= 0 || r.TicTput <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+	}
+	// Chained iterations should not be slower per sample than isolated
+	// ones (pipelining across the boundary can only help).
+	if rows[1].BaseTput < rows[0].BaseTput*0.8 {
+		t.Fatalf("pipelining regressed throughput: %+v vs %+v", rows[1], rows[0])
+	}
+	var buf bytes.Buffer
+	WritePipeline(&buf, rows)
+	if !strings.Contains(buf.String(), "ChainedIters") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	d := o.withDefaults()
+	if d.Warmup != 2 || d.Measure != 10 || d.Runs != 1000 || d.TrainIters != 500 {
+		t.Fatalf("defaults = %+v", d)
+	}
+	if got := len(sweepModels(Options{})); got != 9 {
+		t.Fatalf("sweep models = %d, want 9", got)
+	}
+	if got := len(sweepModels(Options{Models: []string{"VGG-16", "bogus"}})); got != 1 {
+		t.Fatalf("filtered models = %d", got)
+	}
+}

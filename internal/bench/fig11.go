@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"io"
+
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+// Fig11Row is one (model, task) point of Figure 11: scheduling efficiency
+// and straggler effect, baseline versus TIC, plotted against the number of
+// ops per worker.
+type Fig11Row struct {
+	Model            string
+	Task             string
+	OpsPerWorker     int
+	BaseEfficiency   float64 // mean E without scheduling
+	TicEfficiency    float64 // mean E with TIC
+	BaseStragglerPct float64 // max straggler % without scheduling
+	TicStragglerPct  float64 // max straggler % with TIC
+}
+
+// Fig11EfficiencyStraggler measures E (eq. 3) and the straggler effect
+// (§6.3) for every catalog model in both tasks on envG with 4 workers and
+// 1 PS, with and without TIC.
+func Fig11EfficiencyStraggler(o Options) ([]Fig11Row, error) {
+	o = o.withDefaults()
+	specs := sweepModels(o)
+	var rows []Fig11Row
+	for _, spec := range specs {
+		for _, mode := range []model.Mode{model.Inference, model.Training} {
+			cfg := cluster.Config{
+				Model:    spec,
+				Mode:     mode,
+				Workers:  4,
+				PS:       1,
+				Platform: timing.EnvG(),
+			}
+			base, tic, _, err := runPair(cfg, core.AlgoTIC, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig11Row{
+				Model:            spec.Name,
+				Task:             mode.String(),
+				OpsPerWorker:     spec.Ops(mode),
+				BaseEfficiency:   base.MeanEfficiency,
+				TicEfficiency:    tic.MeanEfficiency,
+				BaseStragglerPct: base.MaxStragglerPct,
+				TicStragglerPct:  tic.MaxStragglerPct,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteFig11 renders the rows as text.
+func WriteFig11(w io.Writer, rows []Fig11Row) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Model, r.Task, itoa(r.OpsPerWorker),
+			f3(r.BaseEfficiency), f3(r.TicEfficiency),
+			f1(r.BaseStragglerPct), f1(r.TicStragglerPct),
+		})
+	}
+	RenderTable(w, "Figure 11: efficiency metric and straggler effect vs ops per worker (envG)",
+		[]string{"Model", "Task", "Ops", "E(base)", "E(tic)", "Straggler%(base)", "Straggler%(tic)"}, cells)
+}

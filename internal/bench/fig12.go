@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+	"tictac/internal/model"
+	"tictac/internal/stats"
+	"tictac/internal/timing"
+)
+
+// Fig12Result holds the scheduling-efficiency validation experiment
+// (Figure 12): many independent runs of Inception v2 on envC with and
+// without TAC; per-run efficiency and normalized step time, their linear
+// relationship, and the step-time CDFs.
+type Fig12Result struct {
+	// EffNone/StepNone are per-run (E, normalized step time) samples for
+	// the unscheduled baseline; EffTAC/StepTAC for TAC.
+	EffNone, StepNone []float64
+	EffTAC, StepTAC   []float64
+	// Regression fits normalized step time against E over all runs
+	// (paper: R² = 0.98).
+	Regression stats.Regression
+	// P95None/P95TAC are the 95th percentiles of normalized step time
+	// (paper: 0.634 baseline vs 0.998 TAC). Higher is better: 1.0 means
+	// the run matched the fastest step observed.
+	P95None, P95TAC float64
+}
+
+// Fig12Regression runs the consistency experiment: Inception v2 training,
+// envC, o.Runs independent single-iteration runs per method.
+func Fig12Regression(o Options) (*Fig12Result, error) {
+	o = o.withDefaults()
+	spec, ok := model.ByName("Inception v2")
+	if !ok {
+		return nil, fmt.Errorf("bench: Inception v2 missing from catalog")
+	}
+	cfg := cluster.Config{
+		Model:    spec,
+		Mode:     model.Training,
+		Workers:  4,
+		PS:       1,
+		Platform: timing.EnvC(),
+	}
+	c, err := cluster.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := c.ComputeSchedule(core.AlgoTAC, 5, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{}
+	var rawNone, rawTAC []float64
+	for i := 0; i < o.Runs; i++ {
+		itNone, err := c.RunIteration(cluster.RunOptions{Seed: o.Seed + int64(i)*13, Jitter: -1})
+		if err != nil {
+			return nil, err
+		}
+		itTAC, err := c.RunIteration(cluster.RunOptions{Schedule: sched, Seed: o.Seed + int64(i)*13 + 7, Jitter: -1})
+		if err != nil {
+			return nil, err
+		}
+		res.EffNone = append(res.EffNone, itNone.Efficiency)
+		res.EffTAC = append(res.EffTAC, itTAC.Efficiency)
+		rawNone = append(rawNone, itNone.Makespan)
+		rawTAC = append(rawTAC, itTAC.Makespan)
+	}
+	// Normalized step time: fastest observed step across both methods
+	// divided by the run's step, in (0, 1]; 1 = as fast as the best run.
+	fastest := rawNone[0]
+	for _, v := range append(append([]float64(nil), rawNone...), rawTAC...) {
+		if v < fastest {
+			fastest = v
+		}
+	}
+	for _, v := range rawNone {
+		res.StepNone = append(res.StepNone, fastest/v)
+	}
+	for _, v := range rawTAC {
+		res.StepTAC = append(res.StepTAC, fastest/v)
+	}
+	allEff := append(append([]float64(nil), res.EffNone...), res.EffTAC...)
+	allStep := append(append([]float64(nil), res.StepNone...), res.StepTAC...)
+	res.Regression = stats.LinearRegression(allEff, allStep)
+	res.P95None = stats.Percentile(res.StepNone, 5) // CDF convention: 95% of runs are at least this fast
+	res.P95TAC = stats.Percentile(res.StepTAC, 5)
+	return res, nil
+}
+
+// WriteFig12 renders the regression and CDF summaries.
+func WriteFig12(w io.Writer, res *Fig12Result) {
+	fmt.Fprintln(w, "== Figure 12: scheduling efficiency vs normalized step time (Inception v2, envC) ==")
+	fmt.Fprintf(w, "runs per method: %d\n", len(res.EffNone))
+	fmt.Fprintf(w, "regression (normalized step ~ E): %s\n", res.Regression)
+	fmt.Fprintf(w, "efficiency:   baseline %s | TAC %s\n",
+		stats.Summarize(res.EffNone), stats.Summarize(res.EffTAC))
+	fmt.Fprintf(w, "norm. step:   baseline %s | TAC %s\n",
+		stats.Summarize(res.StepNone), stats.Summarize(res.StepTAC))
+	fmt.Fprintf(w, "95th-pct normalized step time: baseline %.5f | TAC %.5f\n", res.P95None, res.P95TAC)
+	// Compact CDF: deciles of normalized step time.
+	var cells [][]string
+	for p := 10.0; p <= 90; p += 10 {
+		cells = append(cells, []string{
+			fmt.Sprintf("p%.0f", p),
+			f3(stats.Percentile(res.StepNone, p)),
+			f3(stats.Percentile(res.StepTAC, p)),
+		})
+	}
+	fmt.Fprintln(w)
+	RenderTable(w, "Figure 12b: normalized step-time CDF deciles",
+		[]string{"pct", "baseline", "TAC"}, cells)
+}

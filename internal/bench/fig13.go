@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"io"
+
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+// Fig13Row compares TIC and TAC speedups over the baseline on the CPU
+// cluster (Figure 13 / Appendix B).
+type Fig13Row struct {
+	Model         string
+	Task          string
+	TicSpeedupPct float64
+	TacSpeedupPct float64
+}
+
+// Fig13TICvsTAC measures both heuristics on envC for the three appendix
+// models (Inception v2, VGG-16, AlexNet v2), training and inference, with
+// 4 workers and 1 PS (the communication-bound regime of a 1 GbE cluster,
+// where the appendix reports its largest gains).
+func Fig13TICvsTAC(o Options) ([]Fig13Row, error) {
+	o = o.withDefaults()
+	names := o.Models
+	if names == nil {
+		names = []string{"Inception v2", "VGG-16", "AlexNet v2"}
+	}
+	var rows []Fig13Row
+	for _, name := range names {
+		spec, ok := model.ByName(name)
+		if !ok {
+			continue
+		}
+		for _, mode := range []model.Mode{model.Inference, model.Training} {
+			cfg := cluster.Config{
+				Model:    spec,
+				Mode:     mode,
+				Workers:  4,
+				PS:       1,
+				Platform: timing.EnvC(),
+			}
+			c, err := cluster.Build(cfg)
+			if err != nil {
+				return nil, err
+			}
+			base, err := c.Run(o.experiment(), cluster.RunOptions{Seed: o.Seed, Jitter: -1})
+			if err != nil {
+				return nil, err
+			}
+			row := Fig13Row{Model: spec.Name, Task: mode.String()}
+			for _, algo := range []core.Algorithm{core.AlgoTIC, core.AlgoTAC} {
+				sched, err := c.ComputeSchedule(algo, 5, o.Seed)
+				if err != nil {
+					return nil, err
+				}
+				out, err := c.Run(o.experiment(), cluster.RunOptions{Schedule: sched, Seed: o.Seed + 999, Jitter: -1})
+				if err != nil {
+					return nil, err
+				}
+				pct := speedupPct(base.MeanThroughput, out.MeanThroughput)
+				if algo == core.AlgoTIC {
+					row.TicSpeedupPct = pct
+				} else {
+					row.TacSpeedupPct = pct
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteFig13 renders the rows as text.
+func WriteFig13(w io.Writer, rows []Fig13Row) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Model, r.Task, f1(r.TicSpeedupPct), f1(r.TacSpeedupPct)})
+	}
+	RenderTable(w, "Figure 13: TIC vs TAC throughput speedup over baseline (envC)",
+		[]string{"Model", "Task", "TIC%", "TAC%"}, cells)
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"io"
+
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+// PipelineRow measures per-parameter pipelining across iteration
+// boundaries: a chained multi-iteration graph lets iteration k+1's
+// transfers start as soon as iteration k's per-parameter updates apply,
+// which is the steady-state behaviour of long training jobs. This is where
+// consumption-order scheduling pays beyond a single iteration (the
+// direction later systems — P3, ByteScheduler — push further).
+type PipelineRow struct {
+	Model      string
+	Iterations int
+	BaseTput   float64 // samples/second, arbitrary order
+	TicTput    float64 // samples/second, TIC enforced
+	SpeedupPct float64
+}
+
+// PipelineExtension compares single-iteration and 3-chained-iteration
+// training throughput, baseline vs TIC, on envG with 4 workers / 1 PS.
+func PipelineExtension(o Options) ([]PipelineRow, error) {
+	o = o.withDefaults()
+	names := o.Models
+	if names == nil {
+		names = []string{"ResNet-50 v2", "VGG-16"}
+	}
+	var rows []PipelineRow
+	for _, name := range names {
+		spec, ok := model.ByName(name)
+		if !ok {
+			continue
+		}
+		for _, iters := range []int{1, 3} {
+			cfg := cluster.Config{
+				Model: spec, Mode: model.Training,
+				Workers: 4, PS: 1, Platform: timing.EnvG(),
+				Iterations: iters,
+			}
+			base, tic, _, err := runPair(cfg, core.AlgoTIC, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, PipelineRow{
+				Model:      spec.Name,
+				Iterations: iters,
+				BaseTput:   base.MeanThroughput,
+				TicTput:    tic.MeanThroughput,
+				SpeedupPct: speedupPct(base.MeanThroughput, tic.MeanThroughput),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WritePipeline renders the rows as text.
+func WritePipeline(w io.Writer, rows []PipelineRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Model, itoa(r.Iterations), f1(r.BaseTput), f1(r.TicTput), f1(r.SpeedupPct),
+		})
+	}
+	RenderTable(w, "Extension: cross-iteration per-parameter pipelining (envG, training, 4 workers)",
+		[]string{"Model", "ChainedIters", "BaseTput", "TicTput", "SpeedUp%"}, cells)
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"io"
+
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+// SweepRow is one (model, configuration, task) point of a throughput sweep
+// (Figures 7, 9 and 10): throughput under the baseline and under TIC, and
+// the relative speedup.
+type SweepRow struct {
+	Model       string
+	Task        string // "train" or "inference"
+	Workers     int
+	PS          int
+	BatchFactor float64
+	BaseTput    float64 // samples/second, no scheduling
+	TicTput     float64 // samples/second, TIC enforced
+	SpeedupPct  float64
+}
+
+// Fig7ScaleWorkers sweeps the worker count 1..16 with PS:workers fixed at
+// 1:4 on envG (Figure 7), for training and inference, TIC vs baseline.
+func Fig7ScaleWorkers(o Options) ([]SweepRow, error) {
+	o = o.withDefaults()
+	var rows []SweepRow
+	for _, spec := range sweepModels(o) {
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			ps := workers / 4
+			if ps < 1 {
+				ps = 1
+			}
+			for _, mode := range []model.Mode{model.Inference, model.Training} {
+				row, err := sweepPoint(spec, mode, workers, ps, 1, o)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig9ScalePS sweeps the PS count {1, 2, 4} with 8 workers on envG
+// (Figure 9).
+func Fig9ScalePS(o Options) ([]SweepRow, error) {
+	o = o.withDefaults()
+	var rows []SweepRow
+	for _, spec := range sweepModels(o) {
+		for _, ps := range []int{1, 2, 4} {
+			for _, mode := range []model.Mode{model.Inference, model.Training} {
+				row, err := sweepPoint(spec, mode, 8, ps, 1, o)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig10BatchScale sweeps the batch factor {0.5, 1, 2} with 4 workers on
+// envG in inference mode (Figure 10).
+func Fig10BatchScale(o Options) ([]SweepRow, error) {
+	o = o.withDefaults()
+	var rows []SweepRow
+	for _, spec := range sweepModels(o) {
+		for _, factor := range []float64{0.5, 1, 2} {
+			row, err := sweepPoint(spec, model.Inference, 4, 1, factor, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func sweepPoint(spec model.Spec, mode model.Mode, workers, ps int, factor float64, o Options) (SweepRow, error) {
+	cfg := cluster.Config{
+		Model:       spec,
+		Mode:        mode,
+		Workers:     workers,
+		PS:          ps,
+		BatchFactor: factor,
+		Platform:    timing.EnvG(),
+	}
+	base, tic, _, err := runPair(cfg, core.AlgoTIC, o)
+	if err != nil {
+		return SweepRow{}, err
+	}
+	return SweepRow{
+		Model:       spec.Name,
+		Task:        mode.String(),
+		Workers:     workers,
+		PS:          ps,
+		BatchFactor: factor,
+		BaseTput:    base.MeanThroughput,
+		TicTput:     tic.MeanThroughput,
+		SpeedupPct:  speedupPct(base.MeanThroughput, tic.MeanThroughput),
+	}, nil
+}
+
+// WriteSweep renders sweep rows as text.
+func WriteSweep(w io.Writer, title string, rows []SweepRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Model, r.Task, itoa(r.Workers), itoa(r.PS), f2(r.BatchFactor),
+			f1(r.BaseTput), f1(r.TicTput), f1(r.SpeedupPct),
+		})
+	}
+	RenderTable(w, title,
+		[]string{"Model", "Task", "W", "PS", "BatchX", "BaseTput", "TicTput", "SpeedUp%"}, cells)
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"io"
+
+	"tictac/internal/model"
+)
+
+// Table1Row is one row of Table 1 (DNN model characteristics), regenerated
+// from the model zoo rather than echoed from constants: parameter counts
+// and byte totals are re-derived from the generated tensors, op counts from
+// the built graphs.
+type Table1Row struct {
+	Model        string
+	Params       int
+	TotalMiB     float64
+	OpsInference int
+	OpsTraining  int
+	Batch        int
+}
+
+// Table1 rebuilds every catalog model in both modes and reports the
+// measured characteristics.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, spec := range model.Catalog() {
+		tensors := spec.ParamTensors()
+		inf, err := model.BuildWorker(spec, model.Inference, spec.Batch, "worker:0", nil)
+		if err != nil {
+			return nil, err
+		}
+		trn, err := model.BuildWorker(spec, model.Training, spec.Batch, "worker:0", nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Model:        spec.Name,
+			Params:       len(tensors),
+			TotalMiB:     float64(model.TotalBytes(tensors)) / (1 << 20),
+			OpsInference: inf.Len(),
+			OpsTraining:  trn.Len(),
+			Batch:        spec.Batch,
+		})
+	}
+	return rows, nil
+}
+
+// WriteTable1 renders the rows as text.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Model, itoa(r.Params), f2(r.TotalMiB),
+			itoa(r.OpsInference), itoa(r.OpsTraining), itoa(r.Batch),
+		})
+	}
+	RenderTable(w, "Table 1: DNN model characteristics (rebuilt)",
+		[]string{"Model", "#Par", "TotalMiB", "OpsInf", "OpsTrain", "Batch"}, cells)
+}

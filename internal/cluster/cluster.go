@@ -1,0 +1,398 @@
+// Package cluster assembles full Model-Replica + Parameter-Server execution
+// graphs (§2.2, Figure 2) and runs synchronized training/inference
+// iterations on the discrete-event simulator.
+//
+// Each worker holds an identical replica of the model's worker DAG; each
+// parameter tensor is sharded onto one PS, which hosts the five PS-side ops
+// per parameter (variable/read for serving, aggregate/update for training).
+// Transfers between a worker and a PS share one serialized channel resource,
+// matching gRPC's one-channel-per-worker-PS-pair behaviour (§5.1).
+package cluster
+
+import (
+	"fmt"
+
+	"tictac/internal/core"
+	"tictac/internal/graph"
+	"tictac/internal/model"
+	"tictac/internal/sim"
+	"tictac/internal/timing"
+)
+
+// Config describes a cluster experiment setup.
+type Config struct {
+	// Model is the Table 1 model spec to replicate on every worker.
+	Model model.Spec
+	// Mode selects training or inference worker graphs.
+	Mode model.Mode
+	// Workers is the number of worker devices (>= 1).
+	Workers int
+	// PS is the number of parameter-server devices (>= 1).
+	PS int
+	// BatchFactor scales the model's standard batch size (×0.5, ×1, ×2 in
+	// Figure 10). Zero means 1.
+	BatchFactor float64
+	// Platform supplies the cost model (EnvG or EnvC).
+	Platform timing.Platform
+	// Iterations chains this many back-to-back synchronized iterations into
+	// one graph (0 or 1 = single iteration). Iteration k+1's read of a
+	// parameter depends on iteration k's update of that parameter, so
+	// transfers pipeline per-parameter across the iteration boundary — the
+	// steady-state behaviour of a long training job. Throughput metrics
+	// divide by the iteration count.
+	Iterations int
+	// SharedPSNIC switches the network model from one serialized channel
+	// per worker↔PS pair (gRPC's queueing, the default and the paper's
+	// model) to one serialized queue per PS NIC shared by all workers —
+	// the opposite extreme, representing a PS whose single link is the
+	// bottleneck. Scheduling contention is global per PS in this mode.
+	SharedPSNIC bool
+}
+
+func (c Config) iterations() int {
+	if c.Iterations < 1 {
+		return 1
+	}
+	return c.Iterations
+}
+
+func (c Config) batch() int {
+	f := c.BatchFactor
+	if f == 0 {
+		f = 1
+	}
+	b := int(float64(c.Model.Batch) * f)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Cluster is a built multi-device execution graph plus its metadata.
+type Cluster struct {
+	Config Config
+	// Graph is the full multi-device DAG executed each iteration.
+	Graph *graph.Graph
+	// Shard maps parameter name → PS index.
+	Shard map[string]int
+	// Params are the model's parameter tensors.
+	Params []model.Param
+}
+
+// WorkerDevice returns the device tag of worker i.
+func WorkerDevice(i int) string { return fmt.Sprintf("worker:%d", i) }
+
+// PSDevice returns the device tag of parameter server j.
+func PSDevice(j int) string { return fmt.Sprintf("ps:%d", j) }
+
+// ChannelResource returns the serialized channel between a worker and a PS.
+func ChannelResource(worker, ps int) string {
+	return fmt.Sprintf("worker:%d/net:ps:%d", worker, ps)
+}
+
+// Build constructs the cluster graph for the given configuration.
+func Build(cfg Config) (*Cluster, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("cluster: need >= 1 worker, got %d", cfg.Workers)
+	}
+	if cfg.PS < 1 {
+		return nil, fmt.Errorf("cluster: need >= 1 PS, got %d", cfg.PS)
+	}
+	if cfg.Platform.ComputeFLOPS <= 0 || cfg.Platform.NetBandwidth <= 0 {
+		return nil, fmt.Errorf("cluster: invalid platform %q", cfg.Platform.Name)
+	}
+	params := cfg.Model.ParamTensors()
+	shard := shardParams(params, cfg.PS)
+	iters := cfg.iterations()
+
+	full := graph.New()
+
+	// Parameter variables exist once; per-iteration serving and update ops
+	// hang off them.
+	vars := make(map[string]*graph.Op, len(params))
+	for _, p := range params {
+		dev := PSDevice(shard[p.Name])
+		v := full.MustAddOp(dev+"/var/"+p.Name, graph.Variable)
+		v.Device, v.Resource, v.Param, v.Bytes = dev, dev+"/compute", p.Name, p.Bytes
+		vars[p.Name] = v
+	}
+
+	// prevUpdate[param] is the op that produced the parameter's latest
+	// value before the current iteration (the variable for iteration 0).
+	prevUpdate := make(map[string]*graph.Op, len(params))
+	for _, p := range params {
+		prevUpdate[p.Name] = vars[p.Name]
+	}
+	// prevWorkerDone[w] gates an inference agent's next pull round.
+	prevWorkerDone := make([][]*graph.Op, cfg.Workers)
+
+	for it := 0; it < iters; it++ {
+		ipfx := ""
+		if iters > 1 {
+			ipfx = fmt.Sprintf("i%d/", it)
+		}
+		// PS-side serving ops: one read per parameter per iteration, gated
+		// by the previous iteration's update (training) so transfers
+		// pipeline per-parameter across the iteration boundary.
+		reads := make(map[string]*graph.Op, len(params))
+		for _, p := range params {
+			dev := PSDevice(shard[p.Name])
+			r := full.MustAddOp(dev+"/"+ipfx+"read/"+p.Name, graph.Read)
+			r.Device, r.Resource, r.Param, r.Bytes = dev, dev+"/compute", p.Name, p.Bytes
+			full.MustConnect(prevUpdate[p.Name], r)
+			reads[p.Name] = r
+		}
+
+		// Worker replicas.
+		for w := 0; w < cfg.Workers; w++ {
+			dev := WorkerDevice(w)
+			chanFor := func(param string) string {
+				if cfg.SharedPSNIC {
+					return PSDevice(shard[param]) + "/net"
+				}
+				return ChannelResource(w, shard[param])
+			}
+			wg, err := model.BuildWorker(cfg.Model, cfg.Mode, cfg.batch(), dev, chanFor)
+			if err != nil {
+				return nil, err
+			}
+			prefix := fmt.Sprintf("%sw%d/", ipfx, w)
+			if err := copyInto(full, wg, prefix); err != nil {
+				return nil, err
+			}
+			for _, op := range wg.OpsOfKind(graph.Recv) {
+				recv := full.Op(prefix + op.Name)
+				full.MustConnect(reads[op.Param], recv)
+				// Inference agents issue the next pull round only after
+				// finishing the previous forward pass.
+				for _, done := range prevWorkerDone[w] {
+					full.MustConnect(done, recv)
+				}
+			}
+			if cfg.Mode == model.Inference {
+				var leaves []*graph.Op
+				for _, op := range wg.Leaves() {
+					leaves = append(leaves, full.Op(prefix+op.Name))
+				}
+				prevWorkerDone[w] = leaves
+			}
+		}
+
+		// PS-side aggregation for training: every worker's gradient send
+		// feeds the parameter's aggregate, which feeds its update.
+		if cfg.Mode == model.Training {
+			for _, p := range params {
+				dev := PSDevice(shard[p.Name])
+				agg := full.MustAddOp(dev+"/"+ipfx+"agg/"+p.Name, graph.Aggregate)
+				agg.Device, agg.Resource, agg.Param = dev, dev+"/compute", p.Name
+				agg.Bytes = p.Bytes * int64(cfg.Workers)
+				upd := full.MustAddOp(dev+"/"+ipfx+"update/"+p.Name, graph.Update)
+				upd.Device, upd.Resource, upd.Param, upd.Bytes = dev, dev+"/compute", p.Name, p.Bytes
+				full.MustConnect(agg, upd)
+				for w := 0; w < cfg.Workers; w++ {
+					send := full.Op(fmt.Sprintf("%sw%d/send/grad/%s", ipfx, w, p.Name))
+					if send == nil {
+						return nil, fmt.Errorf("cluster: missing send op for %s on worker %d", p.Name, w)
+					}
+					full.MustConnect(send, agg)
+				}
+				prevUpdate[p.Name] = upd
+			}
+		}
+	}
+
+	if err := full.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return &Cluster{Config: cfg, Graph: full, Shard: shard, Params: params}, nil
+}
+
+// copyInto copies src's ops and edges into dst with every op name prefixed.
+// Param tags are preserved un-prefixed so schedules keyed by parameter apply
+// across replicas.
+func copyInto(dst, src *graph.Graph, prefix string) error {
+	for _, op := range src.Ops() {
+		c, err := dst.AddOp(prefix+op.Name, op.Kind)
+		if err != nil {
+			return err
+		}
+		c.Device, c.Resource = op.Device, op.Resource
+		c.Bytes, c.FLOPs, c.Param = op.Bytes, op.FLOPs, op.Param
+	}
+	for _, op := range src.Ops() {
+		from := dst.Op(prefix + op.Name)
+		for _, succ := range op.Out() {
+			if err := dst.Connect(from, dst.Op(prefix+succ.Name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// shardParams assigns parameters to PS devices with greedy largest-first
+// balancing by bytes (the standard PS placement heuristic).
+func shardParams(params []model.Param, nPS int) map[string]int {
+	shard := make(map[string]int, len(params))
+	load := make([]int64, nPS)
+	for _, p := range model.SortBySizeDesc(params) {
+		best := 0
+		for j := 1; j < nPS; j++ {
+			if load[j] < load[best] {
+				best = j
+			}
+		}
+		shard[p.Name] = best
+		load[best] += p.Bytes
+	}
+	return shard
+}
+
+// PSLoads returns the total parameter bytes hosted per PS.
+func (c *Cluster) PSLoads() []int64 {
+	loads := make([]int64, c.Config.PS)
+	for _, p := range c.Params {
+		loads[c.Shard[p.Name]] += p.Bytes
+	}
+	return loads
+}
+
+// refPrefix is the op-name prefix of the reference worker's first-iteration
+// replica inside the full graph.
+func (c *Cluster) refPrefix() string {
+	if c.Config.iterations() > 1 {
+		return "i0/w0/"
+	}
+	return "w0/"
+}
+
+// ReferenceWorker returns the partition of worker 0 (first iteration) with
+// names un-prefixed — the graph the ordering wizard consumes (§4: "a
+// reference worker partition"; all replicas and iterations are identical so
+// one schedule serves all).
+func (c *Cluster) ReferenceWorker() *graph.Graph {
+	prefix := c.refPrefix()
+	device := WorkerDevice(0)
+	out := graph.New()
+	strip := func(name string) (string, bool) {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			return name[len(prefix):], true
+		}
+		return "", false
+	}
+	for _, op := range c.Graph.Ops() {
+		if op.Device != device {
+			continue
+		}
+		name, ok := strip(op.Name)
+		if !ok {
+			continue
+		}
+		n := out.MustAddOp(name, op.Kind)
+		n.Device, n.Resource = op.Device, op.Resource
+		n.Bytes, n.FLOPs, n.Param = op.Bytes, op.FLOPs, op.Param
+	}
+	for _, op := range c.Graph.Ops() {
+		from, ok := strip(op.Name)
+		if !ok || op.Device != device {
+			continue
+		}
+		for _, succ := range op.Out() {
+			to, ok := strip(succ.Name)
+			if !ok || succ.Device != device {
+				continue
+			}
+			out.MustConnect(out.Op(from), out.Op(to))
+		}
+	}
+	return out
+}
+
+// ComputeSchedule runs the ordering wizard for the cluster.
+//
+// AlgoNone returns nil (baseline). AlgoTIC needs only the DAG. AlgoTAC
+// first traces warmup baseline iterations (the paper's tracing module),
+// reduces them with the min-of-k estimator (§5), and feeds the estimated
+// oracle to TAC. The schedule is computed offline, before measurement
+// iterations, exactly as in the paper ("the priority list is calculated
+// offline before the execution; all iterations follow the same order").
+func (c *Cluster) ComputeSchedule(algo core.Algorithm, warmupIters int, seed int64) (*core.Schedule, error) {
+	switch algo {
+	case core.AlgoNone:
+		return nil, nil
+	case core.AlgoTIC:
+		return core.TIC(c.ReferenceWorker())
+	case core.AlgoTAC:
+		oracle, err := c.TraceOracle(warmupIters, seed, timing.EstimateMin)
+		if err != nil {
+			return nil, err
+		}
+		return core.TAC(c.ReferenceWorker(), oracle)
+	}
+	return nil, fmt.Errorf("cluster: unknown algorithm %q", algo)
+}
+
+// TraceOracle runs warmup baseline iterations with the tracing module
+// attached and returns a time oracle estimated from the measurements
+// (§5: tracing module → time oracle estimator), keyed by reference-worker
+// op names. kind selects the reduction (the paper uses min of 5 runs).
+func (c *Cluster) TraceOracle(warmupIters int, seed int64, kind timing.EstimateKind) (timing.Oracle, error) {
+	if warmupIters < 1 {
+		warmupIters = 5
+	}
+	tracer := timing.NewTracer()
+	for i := 0; i < warmupIters; i++ {
+		_, err := sim.Run(c.Graph, sim.Config{
+			Oracle: c.Config.Platform.Oracle(),
+			Seed:   seed + int64(i),
+			Jitter: c.Config.Platform.Jitter,
+			Tracer: tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Trace names carry the worker prefix; rekey to reference names.
+	est := tracer.Estimator(kind, c.Config.Platform.Oracle())
+	return timing.OracleFunc(func(op *graph.Op) float64 {
+		probe := *op
+		probe.Name = "w0/" + op.Name
+		return est.Time(&probe)
+	}), nil
+}
+
+// ChainRecvsByOrder returns a clone of the cluster graph with every
+// worker's recv ops chained along the schedule order — the conservative
+// "enforce directly on the DAG" alternative the paper rejects in §5.1
+// because each transfer then waits for the previous one's completion,
+// serializing across channels and preventing pipelining.
+func (c *Cluster) ChainRecvsByOrder(order []string) (*graph.Graph, error) {
+	g := c.Graph.Clone()
+	iters := c.Config.iterations()
+	for it := 0; it < iters; it++ {
+		ipfx := ""
+		if iters > 1 {
+			ipfx = fmt.Sprintf("i%d/", it)
+		}
+		for w := 0; w < c.Config.Workers; w++ {
+			prefix := fmt.Sprintf("%sw%d/recv/", ipfx, w)
+			var prev *graph.Op
+			for _, key := range order {
+				op := g.Op(prefix + key)
+				if op == nil {
+					return nil, fmt.Errorf("cluster: recv for %q missing on worker %d", key, w)
+				}
+				if prev != nil {
+					if err := g.Connect(prev, op); err != nil {
+						return nil, err
+					}
+				}
+				prev = op
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

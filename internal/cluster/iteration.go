@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"fmt"
+
+	"tictac/internal/core"
+	"tictac/internal/graph"
+	"tictac/internal/sim"
+	"tictac/internal/stats"
+	"tictac/internal/timing"
+)
+
+// Iteration summarizes one synchronized training/inference step.
+type Iteration struct {
+	// Makespan is the iteration time: all workers synchronize at the end
+	// of the step, so the slowest path defines it.
+	Makespan float64
+	// WorkerFinish is each worker's local finish time.
+	WorkerFinish []float64
+	// StragglerPct is the maximum time any worker spends waiting for the
+	// iteration to complete, as a percentage of the iteration time (§6.3).
+	StragglerPct float64
+	// Efficiency is the scheduling-efficiency metric E (eq. 3) evaluated on
+	// the reference worker partition with this iteration's measured op
+	// times and the worker's measured makespan.
+	Efficiency float64
+	// RecvOrder is worker 0's parameter arrival order this iteration.
+	RecvOrder []string
+	// ReorderEvents counts injected schedule inversions.
+	ReorderEvents int
+}
+
+// Throughput returns samples/second for this iteration given the per-worker
+// batch size: all workers process their batch each step.
+func (it Iteration) Throughput(batch, workers int) float64 {
+	if it.Makespan <= 0 {
+		return 0
+	}
+	return float64(batch*workers) / it.Makespan
+}
+
+// RunOptions controls a measured run.
+type RunOptions struct {
+	// Schedule enforces transfer priorities (nil = baseline).
+	Schedule *core.Schedule
+	// Seed seeds the iteration's randomness.
+	Seed int64
+	// Jitter overrides the platform jitter when >= 0; pass -1 to use the
+	// platform default.
+	Jitter float64
+	// ReorderProb injects gRPC-style priority inversions.
+	ReorderProb float64
+}
+
+// RunIteration simulates one synchronized iteration.
+func (c *Cluster) RunIteration(opts RunOptions) (*Iteration, error) {
+	jitter := opts.Jitter
+	if jitter < 0 {
+		jitter = c.Config.Platform.Jitter
+	}
+	res, err := sim.Run(c.Graph, sim.Config{
+		Oracle:      c.Config.Platform.Oracle(),
+		Schedule:    opts.Schedule,
+		Seed:        opts.Seed,
+		Jitter:      jitter,
+		ReorderProb: opts.ReorderProb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	it := &Iteration{
+		Makespan:      res.Makespan,
+		RecvOrder:     res.RecvStartOrder[WorkerDevice(0)],
+		ReorderEvents: res.ReorderEvents,
+	}
+	minFinish := res.Makespan
+	for w := 0; w < c.Config.Workers; w++ {
+		f := res.DeviceFinish[WorkerDevice(w)]
+		it.WorkerFinish = append(it.WorkerFinish, f)
+		if f < minFinish {
+			minFinish = f
+		}
+	}
+	if res.Makespan > 0 {
+		it.StragglerPct = (res.Makespan - minFinish) / res.Makespan * 100
+	}
+	it.Efficiency = c.iterationEfficiency(res)
+	return it, nil
+}
+
+// iterationEfficiency computes E on the worker-0 partition using the
+// iteration's measured per-op durations, mirroring §3.2 ("for a given
+// iteration, we measure runtime of each op as well as the makespan of that
+// iteration and then calculate the bounds").
+func (c *Cluster) iterationEfficiency(res *sim.Result) float64 {
+	prefix := c.refPrefix()
+	measured := make(map[string]float64)
+	var start, end float64
+	first := true
+	for _, sp := range res.Spans {
+		if sp.Op.Device != WorkerDevice(0) {
+			continue
+		}
+		name := sp.Op.Name
+		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			continue // other iterations of a chained graph
+		}
+		name = name[len(prefix):]
+		measured[name] = sp.End - sp.Start
+		if first || sp.Start < start {
+			start = sp.Start
+			first = false
+		}
+		if sp.End > end {
+			end = sp.End
+		}
+	}
+	ref := c.ReferenceWorker()
+	oracle := timing.OracleFunc(func(op *graph.Op) float64 { return measured[op.Name] })
+	return core.Efficiency(ref, oracle, end-start)
+}
+
+// Experiment mirrors the paper's measurement protocol (§6): discard warmup
+// iterations, then record measured iterations; report the mean for
+// throughput and the maximum for straggler effect and efficiency deviation.
+type Experiment struct {
+	// Warmup iterations to discard (the paper discards 2).
+	Warmup int
+	// Measure iterations to record (the paper records 10).
+	Measure int
+}
+
+// DefaultExperiment is the paper's 2-warmup/10-measured protocol.
+var DefaultExperiment = Experiment{Warmup: 2, Measure: 10}
+
+// Outcome aggregates measured iterations.
+type Outcome struct {
+	// Iterations holds the measured (post-warmup) iterations.
+	Iterations []Iteration
+	// MeanThroughput is samples/second averaged over measured iterations.
+	MeanThroughput float64
+	// MeanMakespan is the average iteration time in seconds.
+	MeanMakespan float64
+	// MaxStragglerPct is the worst straggler effect observed.
+	MaxStragglerPct float64
+	// MinEfficiency is the worst scheduling efficiency observed.
+	MinEfficiency float64
+	// MeanEfficiency is the average scheduling efficiency.
+	MeanEfficiency float64
+	// UniqueRecvOrders counts distinct worker-0 parameter arrival orders
+	// across measured iterations (§2.2's uniqueness observation).
+	UniqueRecvOrders int
+}
+
+// Run executes the experiment protocol against the cluster.
+func (c *Cluster) Run(exp Experiment, opts RunOptions) (*Outcome, error) {
+	if exp.Measure < 1 {
+		return nil, fmt.Errorf("cluster: experiment needs >= 1 measured iteration")
+	}
+	out := &Outcome{MinEfficiency: 1}
+	var makespans, throughputs, effs []float64
+	orders := make(map[string]bool)
+	batch := c.Config.batch()
+	for i := 0; i < exp.Warmup+exp.Measure; i++ {
+		iterOpts := opts
+		iterOpts.Seed = opts.Seed + int64(i)*7919 // distinct per-iteration stream
+		it, err := c.RunIteration(iterOpts)
+		if err != nil {
+			return nil, err
+		}
+		if i < exp.Warmup {
+			continue
+		}
+		out.Iterations = append(out.Iterations, *it)
+		makespans = append(makespans, it.Makespan)
+		// A chained graph processes batch × iterations samples per worker.
+		throughputs = append(throughputs, it.Throughput(batch*c.Config.iterations(), c.Config.Workers))
+		effs = append(effs, it.Efficiency)
+		if it.StragglerPct > out.MaxStragglerPct {
+			out.MaxStragglerPct = it.StragglerPct
+		}
+		if it.Efficiency < out.MinEfficiency {
+			out.MinEfficiency = it.Efficiency
+		}
+		orders[joinKeys(it.RecvOrder)] = true
+	}
+	out.MeanThroughput = stats.Mean(throughputs)
+	out.MeanMakespan = stats.Mean(makespans)
+	out.MeanEfficiency = stats.Mean(effs)
+	out.UniqueRecvOrders = len(orders)
+	return out, nil
+}
+
+func joinKeys(keys []string) string {
+	s := ""
+	for _, k := range keys {
+		s += k + "\x00"
+	}
+	return s
+}

@@ -1,0 +1,190 @@
+// Package collective builds decentralized all-reduce execution graphs — the
+// "other unexplored transfer patterns such as all reduce" the paper's
+// conclusion (§7) calls out as follow-up work.
+//
+// The aggregation substrate is a bucketed ring all-reduce (Horovod-style):
+// each parameter's gradient is exchanged in 2(W−1) ring steps, costing
+// 2(W−1)/W of the tensor's bytes per worker link. Collectives execute
+// in-order on a shared ring resource, which is exactly the scheduling
+// freedom TicTac exploits on the PS path: the order in which per-parameter
+// collectives are launched determines how much of the backward pass they
+// overlap. Applying TIC/TAC priorities to the collective launch queue
+// extends the paper's idea to this pattern.
+package collective
+
+import (
+	"fmt"
+
+	"tictac/internal/core"
+	"tictac/internal/graph"
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+// Config describes a ring all-reduce training setup.
+type Config struct {
+	// Model is the Table 1 model replicated on every worker.
+	Model model.Spec
+	// Workers is the ring size (>= 2).
+	Workers int
+	// BatchFactor scales the per-worker batch (0 = 1).
+	BatchFactor float64
+	// Platform supplies the cost model.
+	Platform timing.Platform
+}
+
+func (c Config) batch() int {
+	f := c.BatchFactor
+	if f == 0 {
+		f = 1
+	}
+	b := int(float64(c.Model.Batch) * f)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Ring is a built all-reduce execution graph.
+type Ring struct {
+	Config Config
+	// Graph is the full multi-worker DAG for one training iteration.
+	Graph *graph.Graph
+	// Params are the model's parameter tensors.
+	Params []model.Param
+}
+
+// RingResource is the shared resource serializing collective launches.
+const RingResource = "ring:0"
+
+// Build assembles the all-reduce iteration graph: per-worker forward and
+// backward passes (no parameter recvs — parameters are worker-resident in
+// decentralized training) feeding one rendezvous collective op per
+// parameter on the shared ring.
+func Build(cfg Config) (*Ring, error) {
+	if cfg.Workers < 2 {
+		return nil, fmt.Errorf("collective: ring needs >= 2 workers, got %d", cfg.Workers)
+	}
+	if cfg.Platform.ComputeFLOPS <= 0 || cfg.Platform.NetBandwidth <= 0 {
+		return nil, fmt.Errorf("collective: invalid platform %q", cfg.Platform.Name)
+	}
+	params := cfg.Model.ParamTensors()
+	full := graph.New()
+
+	// Worker replicas: build the training worker graph, then strip the PS
+	// artifacts — recvs disappear (weights are local) and each gradient
+	// send becomes the worker's hand-off into the collective.
+	gradReady := make(map[string][]*graph.Op, len(params)) // param → per-worker producer
+	for w := 0; w < cfg.Workers; w++ {
+		device := fmt.Sprintf("worker:%d", w)
+		wg, err := model.BuildWorker(cfg.Model, model.Training, cfg.batch(), device, nil)
+		if err != nil {
+			return nil, err
+		}
+		prefix := fmt.Sprintf("w%d/", w)
+		for _, op := range wg.Ops() {
+			if op.Kind == graph.Recv || op.Kind == graph.Send {
+				continue
+			}
+			c := full.MustAddOp(prefix+op.Name, op.Kind)
+			c.Device, c.Resource = op.Device, op.Resource
+			c.Bytes, c.FLOPs, c.Param = op.Bytes, op.FLOPs, op.Param
+		}
+		for _, op := range wg.Ops() {
+			if op.Kind == graph.Recv || op.Kind == graph.Send {
+				continue
+			}
+			from := full.Op(prefix + op.Name)
+			for _, succ := range op.Out() {
+				if succ.Kind == graph.Recv || succ.Kind == graph.Send {
+					continue
+				}
+				full.MustConnect(from, full.Op(prefix+succ.Name))
+			}
+		}
+		// The producer of each parameter's gradient is the send op's
+		// (stripped) predecessor.
+		for _, send := range wg.OpsOfKind(graph.Send) {
+			for _, pred := range send.In() {
+				gradReady[send.Param] = append(gradReady[send.Param], full.Op(prefix+pred.Name))
+			}
+		}
+	}
+
+	// One rendezvous collective per parameter on the shared ring resource.
+	// Bytes records the per-link traffic of the ring algorithm:
+	// 2(W−1)/W × tensor bytes.
+	for _, p := range params {
+		ar := full.MustAddOp("allreduce/"+p.Name, graph.Aggregate)
+		ar.Device = "ring"
+		ar.Resource = RingResource
+		ar.Param = p.Name
+		ar.Bytes = p.Bytes * 2 * int64(cfg.Workers-1) / int64(cfg.Workers)
+		producers := gradReady[p.Name]
+		if len(producers) != cfg.Workers {
+			return nil, fmt.Errorf("collective: %s has %d producers, want %d", p.Name, len(producers), cfg.Workers)
+		}
+		for _, prod := range producers {
+			full.MustConnect(prod, ar)
+		}
+	}
+	if err := full.Validate(); err != nil {
+		return nil, fmt.Errorf("collective: %w", err)
+	}
+	return &Ring{Config: cfg, Graph: full, Params: params}, nil
+}
+
+// Oracle returns the ring's time oracle: collective ops are charged ring
+// latency (2(W−1) hops) plus their per-link bytes at network bandwidth;
+// everything else follows the platform cost model.
+func (r *Ring) Oracle() timing.Oracle {
+	p := r.Config.Platform
+	hops := float64(2 * (r.Config.Workers - 1))
+	return timing.OracleFunc(func(op *graph.Op) float64 {
+		if op.Resource == RingResource {
+			return p.NetLatency*hops + float64(op.Bytes)/p.NetBandwidth
+		}
+		return p.Cost(op)
+	})
+}
+
+// ReferenceWorker returns worker 0's partition with names un-prefixed and
+// with the collective hand-off represented as a send per parameter, so the
+// existing TIC/TAC wizards can order the collective launch queue.
+func (r *Ring) ReferenceWorker() (*graph.Graph, error) {
+	return model.BuildWorker(r.Config.Model, model.Training, r.Config.batch(), "worker:0", nil)
+}
+
+// LaunchSchedule derives a priority order for the collective launch queue.
+//
+// On the PS path TIC prioritizes the transfers computation consumes first
+// (early layers). On an in-order ring the binding constraint is gradient
+// *production*: backward emits late-layer gradients first, so launching
+// collectives in production order keeps the ring busy from the first
+// gradient onward, while an adversarial order stalls it behind the
+// last-produced tensor. Production order is the reverse of TIC's
+// consumption order, so we compute TIC on the reference worker and invert
+// it — the timing-independent analogue for collectives.
+func (r *Ring) LaunchSchedule() (*core.Schedule, error) {
+	ref, err := r.ReferenceWorker()
+	if err != nil {
+		return nil, err
+	}
+	tic, err := core.TIC(ref)
+	if err != nil {
+		return nil, err
+	}
+	n := len(tic.Order)
+	launch := &core.Schedule{
+		Algorithm: core.Algorithm("tic-ar"),
+		Rank:      make(map[string]int, n),
+		Order:     make([]string, n),
+	}
+	for i, key := range tic.Order {
+		launch.Order[n-1-i] = key
+	}
+	for i, key := range launch.Order {
+		launch.Rank[key] = i
+	}
+	return launch, nil
+}

@@ -1,0 +1,183 @@
+package collective
+
+import (
+	"testing"
+
+	"tictac/internal/core"
+	"tictac/internal/graph"
+	"tictac/internal/model"
+	"tictac/internal/sim"
+	"tictac/internal/timing"
+)
+
+func ringConfig(workers int) Config {
+	spec, _ := model.ByName("AlexNet v2")
+	return Config{Model: spec, Workers: workers, Platform: timing.EnvG()}
+}
+
+func TestBuildValidates(t *testing.T) {
+	if _, err := Build(ringConfig(1)); err == nil {
+		t.Fatal("1-worker ring accepted")
+	}
+	cfg := ringConfig(2)
+	cfg.Platform = timing.Platform{}
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("zero platform accepted")
+	}
+}
+
+func TestBuildShape(t *testing.T) {
+	cfg := ringConfig(4)
+	ring, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cfg.Model
+	// Per worker: training ops minus recvs minus sends; plus one collective
+	// per parameter.
+	perWorker := spec.OpsTraining - 2*spec.Params
+	want := 4*perWorker + spec.Params
+	if got := ring.Graph.Len(); got != want {
+		t.Fatalf("ops = %d, want %d", got, want)
+	}
+	// No recv/send ops anywhere (decentralized).
+	if n := len(ring.Graph.OpsOfKind(graph.Recv)) + len(ring.Graph.OpsOfKind(graph.Send)); n != 0 {
+		t.Fatalf("found %d PS-style transfer ops", n)
+	}
+	// One collective per parameter, each fed by all workers.
+	ars := ring.Graph.OpsOfKind(graph.Aggregate)
+	if len(ars) != spec.Params {
+		t.Fatalf("collectives = %d, want %d", len(ars), spec.Params)
+	}
+	for _, ar := range ars {
+		if ar.NumIn() != 4 {
+			t.Fatalf("collective %s has %d producers", ar.Name, ar.NumIn())
+		}
+		if ar.Resource != RingResource {
+			t.Fatalf("collective %s on %s", ar.Name, ar.Resource)
+		}
+		if ar.Bytes <= 0 {
+			t.Fatalf("collective %s has no traffic", ar.Name)
+		}
+	}
+}
+
+func TestRingBytesFollowAlgorithm(t *testing.T) {
+	ring, err := Build(ringConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2(W−1)/W = 1.5 at W = 4.
+	for _, ar := range ring.Graph.OpsOfKind(graph.Aggregate) {
+		var p model.Param
+		for _, q := range ring.Params {
+			if q.Name == ar.Param {
+				p = q
+			}
+		}
+		want := p.Bytes * 3 / 2
+		if ar.Bytes != want {
+			t.Fatalf("%s: bytes %d, want %d", ar.Name, ar.Bytes, want)
+		}
+	}
+}
+
+func TestOracleChargesRing(t *testing.T) {
+	ring, err := Build(ringConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ring.Oracle()
+	ar := ring.Graph.OpsOfKind(graph.Aggregate)[0]
+	p := ring.Config.Platform
+	want := p.NetLatency*2 + float64(ar.Bytes)/p.NetBandwidth
+	if got := oracle.Time(ar); got != want {
+		t.Fatalf("ring cost = %v, want %v", got, want)
+	}
+	// Compute ops follow the platform cost model.
+	for _, op := range ring.Graph.Ops() {
+		if op.Kind == graph.Compute {
+			if oracle.Time(op) != p.Cost(op) {
+				t.Fatal("compute cost diverged from platform")
+			}
+			break
+		}
+	}
+}
+
+func TestLaunchScheduleIsReversedTIC(t *testing.T) {
+	ring, err := Build(ringConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	launch, err := ring.LaunchSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := ring.ReferenceWorker()
+	tic, _ := core.TIC(ref)
+	n := len(tic.Order)
+	if len(launch.Order) != n {
+		t.Fatalf("launch covers %d of %d", len(launch.Order), n)
+	}
+	for i := range tic.Order {
+		if launch.Order[i] != tic.Order[n-1-i] {
+			t.Fatalf("launch[%d] = %s, want %s", i, launch.Order[i], tic.Order[n-1-i])
+		}
+	}
+}
+
+// TestOrderedLaunchesBeatAdversarial: launching collectives in production
+// order must beat the consumption order (which stalls the ring until the
+// last gradient).
+func TestOrderedLaunchesBeatAdversarial(t *testing.T) {
+	spec, _ := model.ByName("VGG-16")
+	ring, err := Build(Config{Model: spec, Workers: 4, Platform: timing.EnvG()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	launch, err := ring.LaunchSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adversarial := &core.Schedule{
+		Algorithm: "adversarial",
+		Rank:      map[string]int{},
+		Order:     make([]string, len(launch.Order)),
+	}
+	for i, k := range launch.Order {
+		adversarial.Order[len(launch.Order)-1-i] = k
+	}
+	for i, k := range adversarial.Order {
+		adversarial.Rank[k] = i
+	}
+	run := func(s *core.Schedule) float64 {
+		res, err := sim.Run(ring.Graph, sim.Config{Oracle: ring.Oracle(), Schedule: s, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	good, bad := run(launch), run(adversarial)
+	if good >= bad {
+		t.Fatalf("ordered launch (%.4f) not faster than adversarial (%.4f)", good, bad)
+	}
+}
+
+func TestRingDeterministicSimulation(t *testing.T) {
+	ring, err := Build(ringConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sim.Run(ring.Graph, sim.Config{Oracle: ring.Oracle(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(ring.Graph, sim.Config{Oracle: ring.Oracle(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatal("ring simulation not deterministic")
+	}
+}

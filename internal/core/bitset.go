@@ -1,0 +1,69 @@
+package core
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of small non-negative integers, used to
+// hold per-op communication-dependency sets (recv indices). Graphs in this
+// domain have at most a few hundred parameters (Table 1 max: 244), so
+// bitsets keep Algorithm 1's set intersections cheap.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << uint(i%64) }
+
+// or folds other into b.
+func (b bitset) or(other bitset) {
+	for i := range b {
+		b[i] |= other[i]
+	}
+}
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// countAnd returns |b ∩ other| without allocating.
+func (b bitset) countAnd(other bitset) int {
+	n := 0
+	for i := range b {
+		n += bits.OnesCount64(b[i] & other[i])
+	}
+	return n
+}
+
+// forEachAnd calls fn for every index in b ∩ other.
+func (b bitset) forEachAnd(other bitset, fn func(i int)) {
+	for wi := range b {
+		w := b[wi] & other[wi]
+		for w != 0 {
+			i := wi*64 + bits.TrailingZeros64(w)
+			fn(i)
+			w &= w - 1
+		}
+	}
+}
+
+// clone returns an independent copy.
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// empty reports whether no bit is set.
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

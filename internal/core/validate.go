@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"tictac/internal/graph"
+)
+
+// ValidateSchedule checks that a schedule is applicable to the given worker
+// partition:
+//
+//   - every recv transfer key in the partition is covered by the schedule,
+//   - the schedule contains no keys foreign to the partition,
+//   - Order is a permutation consistent with Rank (equal-rank keys may
+//     appear in any relative order, lower ranks never after higher ranks).
+//
+// The enforcement module assumes exactly this contract (§5.1: priorities
+// normalized to [0, n) with the counter incremented per transfer), so
+// schedules should be validated after deserialization or manual editing.
+func ValidateSchedule(g *graph.Graph, s *Schedule) error {
+	if s == nil {
+		return fmt.Errorf("core: nil schedule")
+	}
+	want := make(map[string]bool)
+	for _, op := range g.OpsOfKind(graph.Recv) {
+		key := Key(op)
+		if want[key] {
+			return fmt.Errorf("core: partition has duplicate transfer key %q", key)
+		}
+		want[key] = true
+	}
+	if len(s.Order) != len(want) {
+		return fmt.Errorf("core: schedule orders %d transfers, partition has %d", len(s.Order), len(want))
+	}
+	seen := make(map[string]bool, len(s.Order))
+	for i, key := range s.Order {
+		if !want[key] {
+			return fmt.Errorf("core: schedule key %q not a transfer of the partition", key)
+		}
+		if seen[key] {
+			return fmt.Errorf("core: schedule repeats key %q", key)
+		}
+		seen[key] = true
+		rank, ok := s.Rank[key]
+		if !ok {
+			return fmt.Errorf("core: key %q missing from Rank", key)
+		}
+		if i > 0 {
+			prev := s.Rank[s.Order[i-1]]
+			if rank < prev {
+				return fmt.Errorf("core: order position %d (%q, rank %d) violates rank of %q (%d)",
+					i, key, rank, s.Order[i-1], prev)
+			}
+		}
+	}
+	return nil
+}

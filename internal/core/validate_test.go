@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tictac/internal/graph"
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+func TestValidateScheduleAccepts(t *testing.T) {
+	g := figure4b()
+	for _, build := range []func() (*Schedule, error){
+		func() (*Schedule, error) { return TIC(g) },
+		func() (*Schedule, error) { return TAC(g, fixedOracle{def: 1}) },
+	} {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateSchedule(g, s); err != nil {
+			t.Fatalf("valid schedule rejected: %v", err)
+		}
+	}
+}
+
+func TestValidateScheduleRejects(t *testing.T) {
+	g := figure4b()
+	s, _ := TIC(g)
+
+	if err := ValidateSchedule(g, nil); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+	// Missing transfer.
+	short := &Schedule{Algorithm: AlgoTIC, Rank: map[string]int{"recvA": 0}, Order: []string{"recvA"}}
+	if err := ValidateSchedule(g, short); err == nil {
+		t.Fatal("incomplete schedule accepted")
+	}
+	// Foreign key.
+	foreign := &Schedule{Algorithm: AlgoTIC, Rank: map[string]int{
+		"recvA": 0, "recvB": 1, "recvC": 2, "ghost": 3,
+	}, Order: []string{"recvA", "recvB", "recvC", "ghost"}}
+	if err := ValidateSchedule(g, foreign); err == nil {
+		t.Fatal("foreign key accepted")
+	}
+	// Repeated key.
+	dup := &Schedule{Algorithm: AlgoTIC, Rank: s.Rank,
+		Order: []string{"recvA", "recvA", "recvC", "recvD"}}
+	if err := ValidateSchedule(g, dup); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	// Order contradicting rank.
+	bad := &Schedule{Algorithm: AlgoTIC, Rank: map[string]int{
+		"recvA": 0, "recvB": 1, "recvC": 2, "recvD": 3,
+	}, Order: []string{"recvD", "recvA", "recvB", "recvC"}}
+	if err := ValidateSchedule(g, bad); err == nil {
+		t.Fatal("rank-violating order accepted")
+	}
+	// Key missing from Rank.
+	noRank := &Schedule{Algorithm: AlgoTIC, Rank: map[string]int{
+		"recvA": 0, "recvB": 0, "recvC": 1,
+	}, Order: []string{"recvA", "recvB", "recvC", "recvD"}}
+	if err := ValidateSchedule(g, noRank); err == nil {
+		t.Fatal("rank-less key accepted")
+	}
+}
+
+func TestValidateScheduleOnCatalog(t *testing.T) {
+	env := timing.EnvC()
+	for _, spec := range model.Catalog()[:4] {
+		g := model.MustBuildWorker(spec, model.Training, spec.Batch, "worker:0", nil)
+		tic, err := TIC(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateSchedule(g, tic); err != nil {
+			t.Fatalf("%s TIC: %v", spec.Name, err)
+		}
+		tac, err := TAC(g, env.Oracle())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateSchedule(g, tac); err != nil {
+			t.Fatalf("%s TAC: %v", spec.Name, err)
+		}
+	}
+}
+
+// TestQuickComparatorStrictWeakOrder: the equation-6 comparator with the M+
+// tie-break and index fallback must be a strict weak order on any property
+// values (no cycles a<b<c<a, never a<a), since the TAC loop relies on a
+// well-defined minimum.
+func TestQuickComparatorStrictWeakOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 6
+		pr := properties{
+			p:     make([]float64, n),
+			mPlus: make([]float64, n),
+		}
+		g := figureN(n)
+		d, err := FindDependencies(g)
+		if err != nil {
+			return false
+		}
+		times := make([]float64, len(g.Ops()))
+		for i := 0; i < n; i++ {
+			pr.p[i] = math.Abs(rng.NormFloat64()) * 5
+			pr.mPlus[i] = math.Abs(rng.NormFloat64()) * 5
+			times[d.recvs[i].ID] = math.Abs(rng.NormFloat64()) + 0.01
+		}
+		less := func(a, b int) bool { return tacLess(&pr, times, d, a, b) }
+		for a := 0; a < n; a++ {
+			if less(a, a) {
+				return false // irreflexivity
+			}
+			for b := 0; b < n; b++ {
+				if a != b && less(a, b) && less(b, a) {
+					return false // asymmetry
+				}
+				for c := 0; c < n; c++ {
+					if less(a, b) && less(b, c) && !less(a, c) && (a != c) {
+						// Transitivity of the strict order with total
+						// tie-breaking: a<b and b<c must give a<c.
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// figureN builds a partition with n recv roots feeding one compute op.
+func figureN(n int) *graph.Graph {
+	g := graph.New()
+	sink := addComp(g, "sink", 1)
+	for i := 0; i < n; i++ {
+		r := addRecv(g, "r"+string(rune('A'+i)), int64(i+1))
+		g.MustConnect(r, sink)
+	}
+	return g
+}

@@ -1,0 +1,109 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticShapeAndDeterminism(t *testing.T) {
+	ds, err := SyntheticClassification(100, 8, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 100 || ds.Features() != 8 || ds.Classes != 3 {
+		t.Fatalf("shape: %d %d %d", ds.Len(), ds.Features(), ds.Classes)
+	}
+	for _, y := range ds.Y {
+		if y < 0 || y >= 3 {
+			t.Fatalf("label out of range: %d", y)
+		}
+	}
+	ds2, _ := SyntheticClassification(100, 8, 3, 42)
+	for i := range ds.X.Data {
+		if ds.X.Data[i] != ds2.X.Data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	ds3, _ := SyntheticClassification(100, 8, 3, 43)
+	same := true
+	for i := range ds.X.Data {
+		if ds.X.Data[i] != ds3.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := SyntheticClassification(0, 8, 3, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := SyntheticClassification(10, 0, 3, 1); err == nil {
+		t.Fatal("features=0 accepted")
+	}
+	if _, err := SyntheticClassification(10, 8, 1, 1); err == nil {
+		t.Fatal("classes=1 accepted")
+	}
+}
+
+func TestBatchWrapsAround(t *testing.T) {
+	ds, _ := SyntheticClassification(10, 4, 2, 1)
+	x, y := ds.Batch(0, 6)
+	if x.Rows != 6 || len(y) != 6 {
+		t.Fatalf("batch shape: %d %d", x.Rows, len(y))
+	}
+	// Batch 1 starts at row 6 and wraps to rows 6..9,0,1.
+	x2, y2 := ds.Batch(1, 6)
+	if y2[4] != ds.Y[0] || y2[5] != ds.Y[1] {
+		t.Fatalf("wrap labels: %v", y2)
+	}
+	// Batch data is a copy.
+	x2.Data[0] = 999
+	if ds.X.At(6, 0) == 999 {
+		t.Fatal("batch leaked storage")
+	}
+	_ = x
+	_ = y
+}
+
+func TestShard(t *testing.T) {
+	ds, _ := SyntheticClassification(10, 4, 2, 1)
+	s0 := ds.Shard(0, 3)
+	s1 := ds.Shard(1, 3)
+	s2 := ds.Shard(2, 3)
+	if s0.Len()+s1.Len()+s2.Len() != 10 {
+		t.Fatalf("shard lens: %d %d %d", s0.Len(), s1.Len(), s2.Len())
+	}
+	if s0.Y[0] != ds.Y[0] || s1.Y[0] != ds.Y[3] {
+		t.Fatal("shard offsets wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid shard accepted")
+		}
+	}()
+	ds.Shard(3, 3)
+}
+
+// Property: shards partition the dataset for any n <= len.
+func TestQuickShardPartition(t *testing.T) {
+	f := func(nRaw, wRaw uint8) bool {
+		n := 4 + int(nRaw%60)
+		workers := 1 + int(wRaw)%4
+		ds, err := SyntheticClassification(n, 3, 2, int64(nRaw))
+		if err != nil {
+			return false
+		}
+		total := 0
+		for w := 0; w < workers; w++ {
+			total += ds.Shard(w, workers).Len()
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package graph provides the partitioned computational DAG substrate used by
+// the TicTac scheduler, the model zoo and the discrete-event simulator.
+//
+// A Graph is a directed acyclic multigraph-free graph of Ops. Each op carries
+// a device tag (which partition it belongs to) and a resource tag (which
+// serially-executing unit inside the device it occupies). These two tags are
+// exactly the inputs the paper's scheduling problem takes (§3.1: "the
+// partitioned graph is the computational graph with resource tags associated
+// to each op").
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a mutable DAG of ops. The zero value is not usable; call New.
+type Graph struct {
+	ops    []*Op
+	byName map[string]*Op
+	edges  int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byName: make(map[string]*Op)}
+}
+
+// AddOp creates an op with the given unique name and kind and returns it.
+// It returns an error if the name is empty or already present.
+func (g *Graph) AddOp(name string, kind Kind) (*Op, error) {
+	if name == "" {
+		return nil, fmt.Errorf("graph: empty op name")
+	}
+	if _, dup := g.byName[name]; dup {
+		return nil, fmt.Errorf("graph: duplicate op name %q", name)
+	}
+	op := &Op{ID: len(g.ops), Name: name, Kind: kind}
+	g.ops = append(g.ops, op)
+	g.byName[name] = op
+	return op, nil
+}
+
+// MustAddOp is AddOp that panics on error; intended for graph builders whose
+// names are generated and cannot collide.
+func (g *Graph) MustAddOp(name string, kind Kind) *Op {
+	op, err := g.AddOp(name, kind)
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+// Connect adds the edge from → to. Self-edges and duplicate edges are
+// rejected; ops must belong to this graph.
+func (g *Graph) Connect(from, to *Op) error {
+	if from == nil || to == nil {
+		return fmt.Errorf("graph: connect with nil op")
+	}
+	if from == to {
+		return fmt.Errorf("graph: self edge on %q", from.Name)
+	}
+	if g.byName[from.Name] != from || g.byName[to.Name] != to {
+		return fmt.Errorf("graph: connect %q->%q: op not in graph", from.Name, to.Name)
+	}
+	for _, o := range from.out {
+		if o == to {
+			return fmt.Errorf("graph: duplicate edge %q->%q", from.Name, to.Name)
+		}
+	}
+	from.out = append(from.out, to)
+	to.in = append(to.in, from)
+	g.edges++
+	return nil
+}
+
+// MustConnect is Connect that panics on error.
+func (g *Graph) MustConnect(from, to *Op) {
+	if err := g.Connect(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Op returns the op with the given name, or nil if absent.
+func (g *Graph) Op(name string) *Op { return g.byName[name] }
+
+// Ops returns all ops in insertion (ID) order. The slice is shared; callers
+// must not mutate it.
+func (g *Graph) Ops() []*Op { return g.ops }
+
+// Len returns the number of ops.
+func (g *Graph) Len() int { return len(g.ops) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Roots returns ops with no predecessors, in ID order.
+func (g *Graph) Roots() []*Op {
+	var roots []*Op
+	for _, op := range g.ops {
+		if op.IsRoot() {
+			roots = append(roots, op)
+		}
+	}
+	return roots
+}
+
+// Leaves returns ops with no successors, in ID order.
+func (g *Graph) Leaves() []*Op {
+	var leaves []*Op
+	for _, op := range g.ops {
+		if op.IsLeaf() {
+			leaves = append(leaves, op)
+		}
+	}
+	return leaves
+}
+
+// OpsOfKind returns all ops of the given kind in ID order.
+func (g *Graph) OpsOfKind(kind Kind) []*Op {
+	var sel []*Op
+	for _, op := range g.ops {
+		if op.Kind == kind {
+			sel = append(sel, op)
+		}
+	}
+	return sel
+}
+
+// Devices returns the sorted set of device tags present in the graph.
+func (g *Graph) Devices() []string {
+	set := make(map[string]bool)
+	for _, op := range g.ops {
+		set[op.Device] = true
+	}
+	return sortedKeys(set)
+}
+
+// Resources returns the sorted set of resource tags present in the graph.
+func (g *Graph) Resources() []string {
+	set := make(map[string]bool)
+	for _, op := range g.ops {
+		set[op.Resource] = true
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DeviceSubgraph returns a new graph containing the ops assigned to device,
+// with edges restricted to pairs inside the device. Op names, kinds, tags and
+// payloads are preserved, so priorities computed on the subgraph can be keyed
+// back to the full graph by name.
+//
+// This realizes the "reference worker partition" the ordering wizard operates
+// on (§4): cross-device edges are dropped, which turns each recv into a root
+// and each send into a leaf, matching the paper's worker-DAG shape.
+func (g *Graph) DeviceSubgraph(device string) *Graph {
+	sub := New()
+	for _, op := range g.ops {
+		if op.Device != device {
+			continue
+		}
+		c := sub.MustAddOp(op.Name, op.Kind)
+		c.Device = op.Device
+		c.Resource = op.Resource
+		c.Bytes = op.Bytes
+		c.FLOPs = op.FLOPs
+		c.Param = op.Param
+	}
+	for _, op := range g.ops {
+		if op.Device != device {
+			continue
+		}
+		from := sub.byName[op.Name]
+		for _, succ := range op.out {
+			if succ.Device != device {
+				continue
+			}
+			sub.MustConnect(from, sub.byName[succ.Name])
+		}
+	}
+	return sub
+}
+
+// Clone returns a deep copy of the graph. Op IDs and names are preserved.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for _, op := range g.ops {
+		n := c.MustAddOp(op.Name, op.Kind)
+		n.Device = op.Device
+		n.Resource = op.Resource
+		n.Bytes = op.Bytes
+		n.FLOPs = op.FLOPs
+		n.Param = op.Param
+	}
+	for _, op := range g.ops {
+		from := c.ops[op.ID]
+		for _, succ := range op.out {
+			c.MustConnect(from, c.ops[succ.ID])
+		}
+	}
+	return c
+}
+
+// Validate checks structural invariants: unique non-empty names, consistent
+// adjacency, every op tagged with a device and a resource, communication ops
+// on distinct resources from compute ops, and acyclicity.
+func (g *Graph) Validate() error {
+	seen := make(map[string]bool, len(g.ops))
+	for i, op := range g.ops {
+		if op.ID != i {
+			return fmt.Errorf("graph: op %q has ID %d at index %d", op.Name, op.ID, i)
+		}
+		if op.Name == "" {
+			return fmt.Errorf("graph: op %d has empty name", i)
+		}
+		if seen[op.Name] {
+			return fmt.Errorf("graph: duplicate op name %q", op.Name)
+		}
+		seen[op.Name] = true
+		if op.Device == "" {
+			return fmt.Errorf("graph: op %q has no device tag", op.Name)
+		}
+		if op.Resource == "" {
+			return fmt.Errorf("graph: op %q has no resource tag", op.Name)
+		}
+		for _, succ := range op.out {
+			if g.byName[succ.Name] != succ {
+				return fmt.Errorf("graph: op %q points outside graph", op.Name)
+			}
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a graph for reporting (Table 1 style).
+type Stats struct {
+	Ops        int
+	Edges      int
+	Recvs      int
+	Sends      int
+	Computes   int
+	Params     int   // distinct parameter tensors referenced
+	ParamBytes int64 // total bytes across distinct parameter tensors
+	Depth      int   // ops on the longest path
+	Devices    int
+}
+
+// CollectStats computes summary statistics of the graph.
+func CollectStats(g *Graph) Stats {
+	s := Stats{Ops: g.Len(), Edges: g.NumEdges(), Depth: g.CriticalPathLen()}
+	paramBytes := make(map[string]int64)
+	for _, op := range g.Ops() {
+		switch op.Kind {
+		case Recv:
+			s.Recvs++
+		case Send:
+			s.Sends++
+		case Compute:
+			s.Computes++
+		}
+		if op.Param != "" && op.Bytes > 0 {
+			if cur, ok := paramBytes[op.Param]; !ok || op.Bytes > cur {
+				paramBytes[op.Param] = op.Bytes
+			}
+		}
+	}
+	s.Params = len(paramBytes)
+	for _, b := range paramBytes {
+		s.ParamBytes += b
+	}
+	s.Devices = len(g.Devices())
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("ops=%d edges=%d recv=%d send=%d compute=%d params=%d paramMiB=%.2f depth=%d devices=%d",
+		s.Ops, s.Edges, s.Recvs, s.Sends, s.Computes, s.Params,
+		float64(s.ParamBytes)/(1<<20), s.Depth, s.Devices)
+}
+
+// DOT renders the graph in Graphviz DOT format, clustered by device.
+// Intended for debugging small graphs.
+func DOT(g *Graph, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", title)
+	byDevice := make(map[string][]*Op)
+	for _, op := range g.Ops() {
+		byDevice[op.Device] = append(byDevice[op.Device], op)
+	}
+	devices := make([]string, 0, len(byDevice))
+	for d := range byDevice {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+	for i, d := range devices {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, d)
+		for _, op := range byDevice[d] {
+			shape := "box"
+			if op.Kind.IsCommunication() {
+				shape = "ellipse"
+			}
+			fmt.Fprintf(&b, "    n%d [label=%q shape=%s];\n", op.ID, op.Name, shape)
+		}
+		fmt.Fprintf(&b, "  }\n")
+	}
+	for _, op := range g.Ops() {
+		for _, succ := range op.Out() {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", op.ID, succ.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,237 @@
+// Package model provides structural generators for the ten DNN models the
+// paper evaluates (Table 1 in the appendix).
+//
+// The generators reproduce, per model: the exact number of parameter
+// tensors (#Par), the exact aggregate parameter size (Total Par Size MiB),
+// the exact op counts of the inference and training worker graphs, the
+// standard batch size, and the family-specific DAG topology (sequential for
+// AlexNet/VGG, residual-skip blocks for ResNet, parallel-branch modules for
+// Inception). Individual tensor dimensions are synthesized from a
+// family-shaped size distribution and scaled so the totals match the paper
+// exactly; this preserves everything TicTac and the simulator consume —
+// transfer-size distribution and DAG dependency structure.
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Family describes the wiring style of a model's computational graph.
+type Family uint8
+
+const (
+	// Sequential is a straight chain of layers (AlexNet, VGG).
+	Sequential Family = iota
+	// Residual wires skip connections around pairs of layers (ResNet).
+	Residual
+	// Inception wires modules of four parallel branches joined by a concat
+	// (GoogLeNet-style).
+	Inception
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	switch f {
+	case Sequential:
+		return "sequential"
+	case Residual:
+		return "residual"
+	case Inception:
+		return "inception"
+	}
+	return fmt.Sprintf("family(%d)", uint8(f))
+}
+
+// Spec describes one model from Table 1.
+type Spec struct {
+	// Name is the Table 1 model name, e.g. "ResNet-50 v2".
+	Name string
+	// Family selects the DAG wiring style.
+	Family Family
+	// Params is the number of parameter tensors (#Par column).
+	Params int
+	// ParamMiB is the aggregate parameter size in MiB (Total Par Size column).
+	ParamMiB float64
+	// OpsInference is the op count of the inference worker graph.
+	OpsInference int
+	// OpsTraining is the op count of the training worker graph.
+	OpsTraining int
+	// Batch is the standard batch size from Table 1.
+	Batch int
+	// ForwardGFLOPs is the approximate forward-pass cost per sample in
+	// GFLOPs, used by the platform cost model to time compute ops.
+	ForwardGFLOPs float64
+}
+
+// ParamBytes returns the aggregate parameter size in bytes.
+func (s Spec) ParamBytes() int64 { return int64(s.ParamMiB * (1 << 20)) }
+
+// catalog lists the ten models exactly as in Table 1 of the paper.
+var catalog = []Spec{
+	{Name: "AlexNet v2", Family: Sequential, Params: 16, ParamMiB: 191.89, OpsInference: 235, OpsTraining: 483, Batch: 512, ForwardGFLOPs: 1.4},
+	{Name: "Inception v1", Family: Inception, Params: 116, ParamMiB: 25.24, OpsInference: 1114, OpsTraining: 2246, Batch: 128, ForwardGFLOPs: 3.0},
+	{Name: "Inception v2", Family: Inception, Params: 141, ParamMiB: 42.64, OpsInference: 1369, OpsTraining: 2706, Batch: 128, ForwardGFLOPs: 4.1},
+	{Name: "Inception v3", Family: Inception, Params: 196, ParamMiB: 103.54, OpsInference: 1904, OpsTraining: 3672, Batch: 32, ForwardGFLOPs: 11.4},
+	{Name: "ResNet-50 v1", Family: Residual, Params: 108, ParamMiB: 97.39, OpsInference: 1114, OpsTraining: 2096, Batch: 32, ForwardGFLOPs: 7.8},
+	{Name: "ResNet-101 v1", Family: Residual, Params: 210, ParamMiB: 169.74, OpsInference: 2083, OpsTraining: 3898, Batch: 64, ForwardGFLOPs: 15.2},
+	{Name: "ResNet-50 v2", Family: Residual, Params: 125, ParamMiB: 97.45, OpsInference: 1423, OpsTraining: 2813, Batch: 64, ForwardGFLOPs: 8.2},
+	{Name: "ResNet-101 v2", Family: Residual, Params: 244, ParamMiB: 169.86, OpsInference: 2749, OpsTraining: 5380, Batch: 32, ForwardGFLOPs: 15.7},
+	{Name: "VGG-16", Family: Sequential, Params: 32, ParamMiB: 527.79, OpsInference: 388, OpsTraining: 758, Batch: 32, ForwardGFLOPs: 31.0},
+	{Name: "VGG-19", Family: Sequential, Params: 38, ParamMiB: 548.05, OpsInference: 442, OpsTraining: 857, Batch: 32, ForwardGFLOPs: 39.3},
+}
+
+// Catalog returns the ten Table 1 model specs in paper order. The returned
+// slice is a copy and safe to mutate.
+func Catalog() []Spec {
+	return append([]Spec(nil), catalog...)
+}
+
+// ByName returns the spec with the given Table 1 name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range catalog {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns the catalog model names in paper order.
+func Names() []string {
+	ns := make([]string, len(catalog))
+	for i, s := range catalog {
+		ns[i] = s.Name
+	}
+	return ns
+}
+
+// Param is one parameter tensor of a model.
+type Param struct {
+	// Name is unique within the model, e.g. "p017/weights".
+	Name string
+	// Bytes is the tensor size in bytes (a multiple of 4: float32 elements).
+	Bytes int64
+}
+
+// ParamTensors synthesizes the model's parameter tensors deterministically.
+//
+// The relative size profile follows the model family: sequential CNNs
+// (AlexNet, VGG) concentrate ~90% of bytes in the final fully-connected
+// tensors, residual and inception models spread bytes over the depth with
+// mild geometric growth. Sizes are scaled so the total equals
+// Spec.ParamBytes() exactly (the last tensor absorbs rounding).
+func (s Spec) ParamTensors() []Param {
+	rel := make([]float64, s.Params)
+	switch s.Family {
+	case Sequential:
+		// Conv weight/bias pairs with geometric growth, then three large FC
+		// weights dominating the byte count (VGG-16's fc6 alone is ~392 MiB
+		// of its 528 MiB).
+		fcStart := s.Params - 6 // last 3 weight+bias pairs are FC
+		if fcStart < 2 {
+			fcStart = 2
+		}
+		for i := 0; i < s.Params; i++ {
+			pair := i / 2
+			if i%2 == 1 { // bias
+				rel[i] = rel[i-1] / 128
+				continue
+			}
+			if i >= fcStart {
+				// FC weights: first FC is by far the largest.
+				switch (i - fcStart) / 2 {
+				case 0:
+					rel[i] = 4096
+				case 1:
+					rel[i] = 680
+				default:
+					rel[i] = 170
+				}
+			} else {
+				rel[i] = float64(int64(1) << uint(min(pair, 6)))
+			}
+		}
+	case Residual, Inception:
+		// Weight/offset pairs; depth-wise geometric growth so late layers
+		// carry more bytes, as in real ResNet/Inception stage widening.
+		for i := 0; i < s.Params; i++ {
+			pair := i / 2
+			stage := 1.0 + 7.0*float64(pair)/float64(max(1, (s.Params/2)-1))
+			if i%2 == 1 {
+				rel[i] = stage / 64
+			} else {
+				rel[i] = stage * stage
+			}
+		}
+	}
+	total := 0.0
+	for _, r := range rel {
+		total += r
+	}
+	target := s.ParamBytes()
+	params := make([]Param, s.Params)
+	var acc int64
+	for i := range params {
+		b := int64(rel[i] / total * float64(target))
+		b -= b % 4
+		if b < 4 {
+			b = 4
+		}
+		params[i] = Param{Name: paramName(s, i), Bytes: b}
+		acc += b
+	}
+	// Absorb rounding error into the largest tensor so the total is exact.
+	largest := 0
+	for i, p := range params {
+		if p.Bytes > params[largest].Bytes {
+			largest = i
+		}
+	}
+	params[largest].Bytes += target - acc
+	return params
+}
+
+func paramName(s Spec, i int) string {
+	suffix := "weights"
+	if i%2 == 1 {
+		suffix = "biases"
+	}
+	return fmt.Sprintf("p%03d/%s", i/2, suffix)
+}
+
+// TotalBytes sums the tensor sizes of params.
+func TotalBytes(params []Param) int64 {
+	var total int64
+	for _, p := range params {
+		total += p.Bytes
+	}
+	return total
+}
+
+// SortBySizeDesc returns the params sorted by descending size (stable on
+// name), useful for largest-first sharding heuristics.
+func SortBySizeDesc(params []Param) []Param {
+	out := append([]Param(nil), params...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package psrt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+)
+
+// Client is one worker's connection to a parameter server. It is not safe
+// for concurrent use; each worker goroutine owns one client.
+type Client struct {
+	worker int
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+}
+
+// Dial connects worker `worker` to the server at addr.
+func Dial(addr string, worker int) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("psrt: %w", err)
+	}
+	return &Client{
+		worker: worker,
+		conn:   conn,
+		enc:    gob.NewEncoder(conn),
+		dec:    gob.NewDecoder(conn),
+	}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// PullAll requests every named parameter for the given iteration
+// (pipelined, like TensorFlow activating all recv ops at iteration start)
+// and waits for all transfers. It returns the received values and the
+// arrival order of parameter names — the observable schedule (§2.2).
+func (c *Client) PullAll(iter int, names []string) (map[string][]float32, []string, error) {
+	for _, name := range names {
+		if err := c.enc.Encode(&message{Kind: msgPull, Worker: c.worker, Iter: iter, Param: name}); err != nil {
+			return nil, nil, fmt.Errorf("psrt: pull %s: %w", name, err)
+		}
+	}
+	values := make(map[string][]float32, len(names))
+	order := make([]string, 0, len(names))
+	for len(values) < len(names) {
+		var msg message
+		if err := c.dec.Decode(&msg); err != nil {
+			return nil, nil, fmt.Errorf("psrt: awaiting transfers: %w", err)
+		}
+		switch msg.Kind {
+		case msgParam:
+			if _, dup := values[msg.Param]; dup {
+				return nil, nil, fmt.Errorf("psrt: duplicate transfer for %s", msg.Param)
+			}
+			values[msg.Param] = msg.Values
+			order = append(order, msg.Param)
+		case msgError:
+			return nil, nil, fmt.Errorf("psrt: server error: %s", msg.Err)
+		default:
+			return nil, nil, fmt.Errorf("psrt: unexpected message kind %d during pull", msg.Kind)
+		}
+	}
+	return values, order, nil
+}
+
+// PushAll sends one gradient per parameter for the iteration (pipelined,
+// no per-message acknowledgement — errors surface on Sync).
+func (c *Client) PushAll(iter int, grads map[string][]float32) error {
+	for name, g := range grads {
+		if err := c.enc.Encode(&message{Kind: msgPush, Worker: c.worker, Iter: iter, Param: name, Values: g}); err != nil {
+			return fmt.Errorf("psrt: push %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Sync blocks until the server has applied the update of the given
+// iteration — the synchronization barrier of synchronous training.
+func (c *Client) Sync(iter int) error {
+	if err := c.enc.Encode(&message{Kind: msgSync, Worker: c.worker, Iter: iter}); err != nil {
+		return fmt.Errorf("psrt: sync: %w", err)
+	}
+	for {
+		var msg message
+		if err := c.dec.Decode(&msg); err != nil {
+			return fmt.Errorf("psrt: sync: %w", err)
+		}
+		switch msg.Kind {
+		case msgSyncDone:
+			if msg.Iter == iter {
+				return nil
+			}
+		case msgError:
+			return fmt.Errorf("psrt: server error: %s", msg.Err)
+		default:
+			return fmt.Errorf("psrt: unexpected message kind %d during sync", msg.Kind)
+		}
+	}
+}

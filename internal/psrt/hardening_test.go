@@ -1,0 +1,162 @@
+package psrt
+
+import (
+	"sync"
+	"testing"
+)
+
+// Hardening tests: failure paths and resource lifecycle of the real
+// runtime.
+
+func TestDialFailsOnDeadAddress(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 0); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestClientErrorsAfterServerClose(t *testing.T) {
+	s, err := Serve(testParams(), ServerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.PullAll(0, []string{"w1"}); err != nil {
+		t.Fatalf("pull before close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Subsequent round trips fail rather than hang.
+	if _, _, err := c.PullAll(1, []string{"w1"}); err == nil {
+		t.Fatal("pull after server close succeeded")
+	}
+}
+
+func TestServerSurvivesAbruptClientDisconnect(t *testing.T) {
+	s, err := Serve(testParams(), ServerConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// One client connects, pulls, and vanishes mid-iteration.
+	c1, err := Dial(s.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c1.PullAll(0, []string{"w1", "b1", "w2", "b2"}); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	// A fresh client can still be served.
+	c2, err := Dial(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, _, err := c2.PullAll(0, []string{"w1"}); err != nil {
+		t.Fatalf("server unusable after disconnect: %v", err)
+	}
+}
+
+func TestLargeTensorTransfer(t *testing.T) {
+	big := make([]float32, 1<<20) // 4 MiB
+	for i := range big {
+		big[i] = float32(i % 97)
+	}
+	s, err := Serve(map[string][]float32{"big": big}, ServerConfig{Workers: 1, LR: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	values, _, err := c.PullAll(0, []string{"big"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := values["big"]
+	if len(got) != len(big) || got[96] != 96 || got[97] != 0 {
+		t.Fatal("large tensor corrupted in flight")
+	}
+	// Push a gradient of the same size and verify the update applies.
+	grad := make([]float32, len(big))
+	grad[0] = 2
+	if err := c.PushAll(0, map[string][]float32{"big": grad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(0); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := s.Param("big")
+	if after[0] != big[0]-2 {
+		t.Fatalf("update lost: %v", after[0])
+	}
+}
+
+func TestManyConcurrentPullOnlyClients(t *testing.T) {
+	s, err := Serve(testParams(), ServerConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for a := 0; a < 8; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), a)
+			if err != nil {
+				errs[a] = err
+				return
+			}
+			defer c.Close()
+			for r := 0; r < 20; r++ {
+				if _, _, err := c.PullAll(r, []string{"w1", "b1", "w2", "b2"}); err != nil {
+					errs[a] = err
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	for a, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", a, err)
+		}
+	}
+	// Pull-only traffic must not advance the update counter.
+	if s.AppliedIter() != -1 {
+		t.Fatalf("applied iter = %d without any pushes", s.AppliedIter())
+	}
+}
+
+func TestScheduleWithExtraKeysIsAccepted(t *testing.T) {
+	// A global schedule may cover params hosted on *other* servers; the
+	// local order is the restriction to hosted params.
+	sched := testSchedule("other1", "b2", "w1", "other2", "b1", "w2")
+	s, err := Serve(testParams(), ServerConfig{Workers: 1, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, _ := Dial(s.Addr(), 0)
+	defer c.Close()
+	_, order, err := c.PullAll(0, []string{"w1", "w2", "b1", "b2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"b2", "w1", "b1", "w2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

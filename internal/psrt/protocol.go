@@ -1,0 +1,38 @@
+// Package psrt is a working parameter-server runtime over real TCP sockets
+// with gob encoding. It closes the "no PS training stack in Go" gap: it
+// implements synchronous data-parallel SGD with parameter pulls, gradient
+// pushes and per-worker sender-side priority enforcement exactly as the
+// paper's enforcement module (§5.1): the sender holds a counter per worker
+// per iteration and blocks a transfer until the counter reaches the
+// transfer's normalized priority number.
+package psrt
+
+// msgKind tags protocol messages.
+type msgKind uint8
+
+const (
+	// msgPull requests one parameter's current value (worker → server).
+	msgPull msgKind = iota
+	// msgPush delivers one parameter's gradient (worker → server).
+	msgPush
+	// msgSync asks the server to confirm that the iteration's update has
+	// been applied (worker → server).
+	msgSync
+	// msgParam carries a parameter value (server → worker). This is the
+	// transfer the enforcement module gates.
+	msgParam
+	// msgSyncDone confirms an applied iteration (server → worker).
+	msgSyncDone
+	// msgError reports a server-side failure (server → worker).
+	msgError
+)
+
+// message is the single wire type exchanged in both directions.
+type message struct {
+	Kind   msgKind
+	Worker int
+	Iter   int
+	Param  string
+	Values []float32
+	Err    string
+}

@@ -1,0 +1,257 @@
+package psrt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tictac/internal/core"
+)
+
+func testParams() map[string][]float32 {
+	return map[string][]float32{
+		"w1": {1, 2, 3},
+		"b1": {0.5},
+		"w2": {4, 5},
+		"b2": {0.25},
+	}
+}
+
+func testSchedule(order ...string) *core.Schedule {
+	s := &core.Schedule{Algorithm: core.AlgoTIC, Rank: map[string]int{}, Order: order}
+	for i, k := range order {
+		s.Rank[k] = i
+	}
+	return s
+}
+
+func TestServeValidatesConfig(t *testing.T) {
+	if _, err := Serve(testParams(), ServerConfig{Workers: 0}); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, err := Serve(nil, ServerConfig{Workers: 1}); err == nil {
+		t.Fatal("empty params accepted")
+	}
+	// Schedule must cover all hosted params.
+	if _, err := Serve(testParams(), ServerConfig{Workers: 1, Schedule: testSchedule("w1")}); err == nil {
+		t.Fatal("partial schedule accepted")
+	}
+}
+
+func TestPullReturnsValues(t *testing.T) {
+	s, err := Serve(testParams(), ServerConfig{Workers: 1, LR: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	values, order, err := c.PullAll(0, []string{"w1", "b1", "w2", "b2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("arrival order = %v", order)
+	}
+	if got := values["w1"]; len(got) != 3 || got[0] != 1 {
+		t.Fatalf("w1 = %v", got)
+	}
+	if got := values["b2"]; len(got) != 1 || got[0] != 0.25 {
+		t.Fatalf("b2 = %v", got)
+	}
+}
+
+func TestPullUnknownParam(t *testing.T) {
+	s, _ := Serve(testParams(), ServerConfig{Workers: 1})
+	defer s.Close()
+	c, _ := Dial(s.Addr(), 0)
+	defer c.Close()
+	if _, _, err := c.PullAll(0, []string{"nope"}); err == nil {
+		t.Fatal("unknown param pull succeeded")
+	}
+}
+
+// TestEnforcementOrdersTransfers is the §5.1 behaviour: with a schedule,
+// transfers arrive in exactly the schedule order regardless of request
+// order.
+func TestEnforcementOrdersTransfers(t *testing.T) {
+	want := []string{"b2", "w1", "b1", "w2"}
+	s, err := Serve(testParams(), ServerConfig{Workers: 1, Schedule: testSchedule(want...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, _ := Dial(s.Addr(), 0)
+	defer c.Close()
+	for iter := 0; iter < 3; iter++ {
+		// Request in an adversarial (reversed) order.
+		_, order, err := c.PullAll(iter, []string{"w2", "b1", "w1", "b2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("iter %d: arrival order = %v, want %v", iter, order, want)
+			}
+		}
+	}
+}
+
+func TestSynchronousSGDUpdate(t *testing.T) {
+	params := map[string][]float32{"w": {1, 1}}
+	const workers = 2
+	s, err := Serve(params, ServerConfig{Workers: workers, LR: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), w)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for iter := 0; iter < 3; iter++ {
+				if _, _, err := c.PullAll(iter, []string{"w"}); err != nil {
+					t.Errorf("worker %d pull: %v", w, err)
+					return
+				}
+				grad := []float32{float32(w + 1), 0} // workers push different grads
+				if err := c.PushAll(iter, map[string][]float32{"w": grad}); err != nil {
+					t.Errorf("worker %d push: %v", w, err)
+					return
+				}
+				if err := c.Sync(iter); err != nil {
+					t.Errorf("worker %d sync: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.AppliedIter() != 2 {
+		t.Fatalf("applied iter = %d, want 2", s.AppliedIter())
+	}
+	// Mean grad = (1+2)/2 = 1.5; 3 iterations of lr 0.5: w[0] = 1 - 3*0.75 = -1.25.
+	got, ok := s.Param("w")
+	if !ok {
+		t.Fatal("param w missing")
+	}
+	if got[0] != -1.25 || got[1] != 1 {
+		t.Fatalf("w = %v, want [-1.25 1]", got)
+	}
+}
+
+func TestParamSnapshotIsCopy(t *testing.T) {
+	s, _ := Serve(testParams(), ServerConfig{Workers: 1})
+	defer s.Close()
+	vs, _ := s.Param("w1")
+	vs[0] = 999
+	vs2, _ := s.Param("w1")
+	if vs2[0] == 999 {
+		t.Fatal("Param leaked internal storage")
+	}
+	if _, ok := s.Param("missing"); ok {
+		t.Fatal("missing param found")
+	}
+	if n := len(s.ParamNames()); n != 4 {
+		t.Fatalf("param names = %d", n)
+	}
+}
+
+func TestEnforcedOrderStableUnderConcurrency(t *testing.T) {
+	// Many params, several workers, scheduled: every worker sees exactly
+	// the schedule order every iteration.
+	params := map[string][]float32{}
+	var order []string
+	for i := 0; i < 24; i++ {
+		name := fmt.Sprintf("p%02d", i)
+		params[name] = []float32{float32(i)}
+	}
+	for i := 23; i >= 0; i-- { // schedule is reverse of name order
+		order = append(order, fmt.Sprintf("p%02d", i))
+	}
+	const workers = 3
+	s, err := Serve(params, ServerConfig{Workers: workers, LR: 0.1, Schedule: testSchedule(order...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	names := make([]string, 0, len(params))
+	for n := range params {
+		names = append(names, n)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), w)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for iter := 0; iter < 4; iter++ {
+				_, got, err := c.PullAll(iter, names)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				for i := range order {
+					if got[i] != order[i] {
+						t.Errorf("worker %d iter %d: order %v", w, iter, got)
+						return
+					}
+				}
+				grads := map[string][]float32{}
+				for _, n := range names {
+					grads[n] = []float32{0}
+				}
+				if err := c.PushAll(iter, grads); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if err := c.Sync(iter); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	s, _ := Serve(testParams(), ServerConfig{Workers: 1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushSizeMismatch(t *testing.T) {
+	s, _ := Serve(testParams(), ServerConfig{Workers: 1})
+	defer s.Close()
+	c, _ := Dial(s.Addr(), 0)
+	defer c.Close()
+	if err := c.PushAll(0, map[string][]float32{"w1": {1}}); err != nil {
+		t.Fatal(err)
+	}
+	// The error surfaces on the next round-trip.
+	if err := c.Sync(0); err == nil {
+		t.Fatal("size-mismatched push not reported")
+	}
+}

@@ -1,0 +1,91 @@
+package psrt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// reorderSetup serves 16 params with a reverse-order schedule and the given
+// inversion probability, then pulls for `iters` iterations and returns the
+// measured out-of-order arrival fraction plus the server's inversion count.
+func reorderSetup(t *testing.T, prob float64, iters int) (violationRate float64, injected int) {
+	t.Helper()
+	const nParams = 16
+	params := map[string][]float32{}
+	var order []string
+	for i := nParams - 1; i >= 0; i-- {
+		name := fmt.Sprintf("p%02d", i)
+		params[name] = []float32{float32(i)}
+		order = append(order, name)
+	}
+	s, err := Serve(params, ServerConfig{
+		Workers:     1,
+		Schedule:    testSchedule(order...),
+		ReorderProb: prob,
+		ReorderSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	names := make([]string, 0, nParams)
+	for n := range params {
+		names = append(names, n)
+	}
+	pos := map[string]int{}
+	for i, k := range order {
+		pos[k] = i
+	}
+	violations, total := 0, 0
+	for iter := 0; iter < iters; iter++ {
+		_, got, err := c.PullAll(iter, names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != nParams {
+			t.Fatalf("iter %d: %d transfers", iter, len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			total++
+			if pos[got[i]] < pos[got[i-1]] {
+				violations++
+			}
+		}
+	}
+	return float64(violations) / float64(total), s.Inversions()
+}
+
+// TestRealStackInversionInjection reproduces the §5.1 measurement: with a
+// small inversion probability the real enforcement module delivers almost
+// every transfer in order (the paper observed 0.4–0.5% at the gRPC layer).
+func TestRealStackInversionInjection(t *testing.T) {
+	// No injection: zero violations, zero recorded inversions.
+	rate, injected := reorderSetup(t, 0, 10)
+	if rate != 0 || injected != 0 {
+		t.Fatalf("clean run: rate=%v injected=%d", rate, injected)
+	}
+	// Heavy injection: violations observed and counted.
+	rate, injected = reorderSetup(t, 0.5, 10)
+	if injected == 0 {
+		t.Fatal("no inversions injected at p=0.5")
+	}
+	if rate == 0 {
+		t.Fatal("injected inversions produced no order violations")
+	}
+	// Light injection (paper-like regime): strictly fewer violations than
+	// the heavy case, and every parameter still arrives exactly once (the
+	// PullAll duplicate check guards this).
+	lightRate, lightInjected := reorderSetup(t, 0.02, 10)
+	if lightInjected >= injected {
+		t.Fatalf("light injection (%d) not below heavy (%d)", lightInjected, injected)
+	}
+	if lightRate > rate {
+		t.Fatalf("light rate %v above heavy rate %v", lightRate, rate)
+	}
+}

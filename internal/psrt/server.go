@@ -1,0 +1,373 @@
+package psrt
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+
+	"tictac/internal/core"
+)
+
+// ServerConfig configures a parameter server.
+type ServerConfig struct {
+	// Workers is the number of synchronous workers; an iteration's update
+	// applies once every worker pushed every parameter's gradient.
+	Workers int
+	// LR is the SGD learning rate applied to aggregated (averaged)
+	// gradients.
+	LR float32
+	// Schedule, when non-nil, enforces the transfer order on parameter
+	// pulls per worker (§5.1). Each worker must then pull every scheduled
+	// parameter every iteration, mirroring TensorFlow activating all recv
+	// ops at the start of each iteration.
+	Schedule *core.Schedule
+	// ReorderProb injects RPC-layer priority inversions: with this
+	// probability a ready transfer that is NOT next in the enforced order
+	// is handed off ahead of its turn, reproducing the gRPC behaviour the
+	// paper measured at 0.4–0.5% (§5.1). Only meaningful with a Schedule.
+	ReorderProb float64
+	// ReorderSeed seeds the inversion draws (0 = fixed default stream).
+	ReorderSeed int64
+}
+
+// Server hosts parameters, aggregates gradients and serves pulls over TCP.
+type Server struct {
+	cfg   ServerConfig
+	order []string // enforcement order restricted to hosted params; nil = FIFO
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	params      map[string][]float32
+	agg         map[string][]float32
+	pushesLeft  int // pushes outstanding in the current aggregation round
+	appliedIter int // last iteration whose update has been applied
+	inversions  int // injected out-of-order dispatches
+	closed      bool
+
+	ln    net.Listener
+	conns map[net.Conn]bool
+	wg    sync.WaitGroup
+}
+
+// Serve starts a server on 127.0.0.1 (port chosen by the kernel) hosting
+// copies of the given parameters. Close must be called to release the
+// listener.
+func Serve(params map[string][]float32, cfg ServerConfig) (*Server, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("psrt: need >= 1 worker")
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("psrt: no parameters to host")
+	}
+	s := &Server{
+		cfg:         cfg,
+		params:      make(map[string][]float32, len(params)),
+		agg:         make(map[string][]float32, len(params)),
+		appliedIter: -1,
+		conns:       make(map[net.Conn]bool),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for name, vs := range params {
+		s.params[name] = append([]float32(nil), vs...)
+		s.agg[name] = make([]float32, len(vs))
+	}
+	s.pushesLeft = cfg.Workers * len(params)
+	if cfg.Schedule != nil {
+		for _, key := range cfg.Schedule.Order {
+			if _, hosted := s.params[key]; hosted {
+				s.order = append(s.order, key)
+			}
+		}
+		if len(s.order) != len(s.params) {
+			return nil, fmt.Errorf("psrt: schedule covers %d of %d hosted params", len(s.order), len(s.params))
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("psrt: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's dial address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Param returns a snapshot of a hosted parameter.
+func (s *Server) Param(name string) ([]float32, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs, ok := s.params[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]float32(nil), vs...), true
+}
+
+// ParamNames returns the hosted parameter names (unordered).
+func (s *Server) ParamNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.params))
+	for n := range s.params {
+		names = append(names, n)
+	}
+	return names
+}
+
+// AppliedIter returns the last iteration whose update has been applied
+// (-1 before any update).
+func (s *Server) AppliedIter() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appliedIter
+}
+
+// Close shuts the listener and all connections down and waits for the
+// serving goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// pendingResponses is the per-connection outbound transfer queue gated by
+// the enforcement module.
+type pendingResponses struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	fifo      []*message          // no-schedule mode: arrival order
+	byParam   map[string]*message // schedule mode: pending transfers by key
+	counter   int                 // transfers handed off this iteration (§5.1 counter)
+	sentEarly map[string]bool     // transfers dispatched out of order (injected inversions)
+	closed    bool
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	pending := &pendingResponses{
+		byParam:   make(map[string]*message),
+		sentEarly: make(map[string]bool),
+	}
+	pending.cond = sync.NewCond(&pending.mu)
+	defer func() {
+		pending.mu.Lock()
+		pending.closed = true
+		pending.cond.Broadcast()
+		pending.mu.Unlock()
+	}()
+
+	// Writer: dequeues responses in enforced order and encodes them.
+	enc := gob.NewEncoder(conn)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.writeLoop(enc, pending)
+	}()
+
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg message
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		switch msg.Kind {
+		case msgPull:
+			s.handlePull(&msg, pending)
+		case msgPush:
+			if err := s.handlePush(&msg); err != nil {
+				enqueue(pending, &message{Kind: msgError, Param: msg.Param, Err: err.Error()}, false)
+			}
+		case msgSync:
+			// Confirm once the iteration's update has been applied. Waiting
+			// happens off the read loop so pushes keep flowing.
+			iter := msg.Iter
+			go func() {
+				s.mu.Lock()
+				for s.appliedIter < iter && !s.closed {
+					s.cond.Wait()
+				}
+				closed := s.closed
+				s.mu.Unlock()
+				if !closed {
+					enqueue(pending, &message{Kind: msgSyncDone, Iter: iter}, false)
+				}
+			}()
+		default:
+			enqueue(pending, &message{Kind: msgError, Err: fmt.Sprintf("unexpected message kind %d", msg.Kind)}, false)
+		}
+	}
+}
+
+// handlePull snapshots the parameter and enqueues the transfer. Ordering is
+// applied at the handoff point (writeLoop), matching the paper's choice of
+// enforcing at the sender just before the transfer is handed to the RPC
+// layer rather than at recv/send activation (§5.1).
+func (s *Server) handlePull(msg *message, pending *pendingResponses) {
+	s.mu.Lock()
+	vs, ok := s.params[msg.Param]
+	var snapshot []float32
+	if ok {
+		snapshot = append([]float32(nil), vs...)
+	}
+	s.mu.Unlock()
+	if !ok {
+		enqueue(pending, &message{Kind: msgError, Param: msg.Param, Err: "unknown parameter " + msg.Param}, false)
+		return
+	}
+	enqueue(pending, &message{Kind: msgParam, Iter: msg.Iter, Param: msg.Param, Values: snapshot}, s.order != nil)
+}
+
+// handlePush folds one gradient into the aggregation round; once every
+// worker pushed every parameter, the SGD update applies and the iteration
+// counter advances.
+func (s *Server) handlePush(msg *message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acc, ok := s.agg[msg.Param]
+	if !ok {
+		return errors.New("unknown parameter " + msg.Param)
+	}
+	if len(msg.Values) != len(acc) {
+		return fmt.Errorf("gradient size %d != %d for %s", len(msg.Values), len(acc), msg.Param)
+	}
+	for i, v := range msg.Values {
+		acc[i] += v
+	}
+	s.pushesLeft--
+	if s.pushesLeft == 0 {
+		scale := s.cfg.LR / float32(s.cfg.Workers)
+		for name, grad := range s.agg {
+			param := s.params[name]
+			for i, g := range grad {
+				param[i] -= scale * g
+				grad[i] = 0
+			}
+		}
+		s.pushesLeft = s.cfg.Workers * len(s.params)
+		s.appliedIter++
+		s.cond.Broadcast()
+	}
+	return nil
+}
+
+// enqueue adds a response to the connection's outbound queue. ordered
+// selects the schedule-gated path for parameter transfers.
+func enqueue(p *pendingResponses, msg *message, ordered bool) {
+	p.mu.Lock()
+	if ordered {
+		p.byParam[msg.Param] = msg
+	} else {
+		p.fifo = append(p.fifo, msg)
+	}
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// writeLoop hands transfers to the connection in enforced order: control
+// messages flow FIFO; with a schedule, parameter transfers wait until the
+// per-worker counter reaches their normalized priority number. A non-zero
+// ReorderProb occasionally dispatches a different pending transfer first,
+// modelling the RPC queue inversions of §5.1.
+func (s *Server) writeLoop(enc *gob.Encoder, p *pendingResponses) {
+	rng := rand.New(rand.NewSource(s.cfg.ReorderSeed + 1))
+	for {
+		p.mu.Lock()
+		var msg *message
+		for {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			if len(p.fifo) > 0 {
+				msg = p.fifo[0]
+				p.fifo = p.fifo[1:]
+				break
+			}
+			if s.order != nil && len(p.byParam) > 0 {
+				// Skip positions whose transfer already left out of order.
+				for p.sentEarly[s.order[p.counter%len(s.order)]] {
+					delete(p.sentEarly, s.order[p.counter%len(s.order)])
+					p.counter++
+				}
+				if s.cfg.ReorderProb > 0 && len(p.byParam) > 1 && rng.Float64() < s.cfg.ReorderProb {
+					// Inversion: hand off an arbitrary pending transfer out
+					// of turn; remember it so the counter can step over its
+					// slot later.
+					for key, m := range p.byParam {
+						if key == s.order[p.counter%len(s.order)] {
+							continue
+						}
+						delete(p.byParam, key)
+						p.sentEarly[key] = true
+						msg = m
+						s.mu.Lock()
+						s.inversions++
+						s.mu.Unlock()
+						break
+					}
+					if msg != nil {
+						break
+					}
+				}
+				next := s.order[p.counter%len(s.order)]
+				if m, ok := p.byParam[next]; ok {
+					delete(p.byParam, next)
+					p.counter++
+					msg = m
+					break
+				}
+			}
+			p.cond.Wait()
+		}
+		p.mu.Unlock()
+		if err := enc.Encode(msg); err != nil {
+			return
+		}
+	}
+}
+
+// Inversions returns how many transfers were dispatched out of the
+// enforced order (injected RPC-layer reorderings).
+func (s *Server) Inversions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inversions
+}

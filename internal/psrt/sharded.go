@@ -1,0 +1,143 @@
+package psrt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ShardedClient fans a worker's pulls and pushes out across multiple
+// parameter servers (the multi-PS layouts of Figure 9). Each server
+// enforces the schedule restricted to the parameters it hosts, mirroring
+// the paper's per-sender counters.
+type ShardedClient struct {
+	worker  int
+	clients []*Client
+	shard   map[string]int // param → server index
+}
+
+// DialShards connects the worker to every server. shard maps each
+// parameter name to its hosting server's index in addrs.
+func DialShards(addrs []string, worker int, shard map[string]int) (*ShardedClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("psrt: no servers to dial")
+	}
+	for p, idx := range shard {
+		if idx < 0 || idx >= len(addrs) {
+			return nil, fmt.Errorf("psrt: param %q sharded to server %d of %d", p, idx, len(addrs))
+		}
+	}
+	sc := &ShardedClient{worker: worker, shard: shard}
+	for _, addr := range addrs {
+		c, err := Dial(addr, worker)
+		if err != nil {
+			sc.Close()
+			return nil, err
+		}
+		sc.clients = append(sc.clients, c)
+	}
+	return sc, nil
+}
+
+// Close terminates all connections.
+func (sc *ShardedClient) Close() error {
+	var first error
+	for _, c := range sc.clients {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// PullAll pulls every named parameter from its hosting server, all servers
+// in parallel (each channel is an independent gRPC-style queue). It returns
+// the merged values and the per-server arrival orders.
+func (sc *ShardedClient) PullAll(iter int, names []string) (map[string][]float32, [][]string, error) {
+	perServer := make([][]string, len(sc.clients))
+	for _, name := range names {
+		idx, ok := sc.shard[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("psrt: param %q has no shard assignment", name)
+		}
+		perServer[idx] = append(perServer[idx], name)
+	}
+	values := make(map[string][]float32, len(names))
+	orders := make([][]string, len(sc.clients))
+	errs := make([]error, len(sc.clients))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, c := range sc.clients {
+		if len(perServer[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			vs, order, err := c.PullAll(iter, perServer[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			for k, v := range vs {
+				values[k] = v
+			}
+			orders[i] = order
+			mu.Unlock()
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return values, orders, nil
+}
+
+// PushAll routes each gradient to its hosting server.
+func (sc *ShardedClient) PushAll(iter int, grads map[string][]float32) error {
+	perServer := make([]map[string][]float32, len(sc.clients))
+	for name, g := range grads {
+		idx, ok := sc.shard[name]
+		if !ok {
+			return fmt.Errorf("psrt: param %q has no shard assignment", name)
+		}
+		if perServer[idx] == nil {
+			perServer[idx] = make(map[string][]float32)
+		}
+		perServer[idx][name] = g
+	}
+	for i, batch := range perServer {
+		if batch == nil {
+			continue
+		}
+		if err := sc.clients[i].PushAll(iter, batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync barriers against every server that hosts parameters.
+func (sc *ShardedClient) Sync(iter int) error {
+	errs := make([]error, len(sc.clients))
+	var wg sync.WaitGroup
+	for i, c := range sc.clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			errs[i] = c.Sync(iter)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

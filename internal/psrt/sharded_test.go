@@ -1,0 +1,233 @@
+package psrt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tictac/internal/core"
+)
+
+// startShardedServers hosts params split across two servers and returns
+// their addresses plus the shard map.
+func startShardedServers(t *testing.T, workers int, sched *core.Schedule) ([]string, map[string]int, []*Server) {
+	t.Helper()
+	shard := map[string]int{"w1": 0, "b1": 1, "w2": 0, "b2": 1}
+	hosted := []map[string][]float32{
+		{"w1": {1, 2, 3}, "w2": {4, 5}},
+		{"b1": {0.5}, "b2": {0.25}},
+	}
+	var addrs []string
+	var servers []*Server
+	for i := 0; i < 2; i++ {
+		s, err := Serve(hosted[i], ServerConfig{Workers: workers, LR: 0.1, Schedule: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		addrs = append(addrs, s.Addr())
+		servers = append(servers, s)
+	}
+	return addrs, shard, servers
+}
+
+func TestShardedPullMergesAllServers(t *testing.T) {
+	addrs, shard, _ := startShardedServers(t, 1, nil)
+	sc, err := DialShards(addrs, 0, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	values, orders, err := sc.PullAll(0, []string{"w1", "b1", "w2", "b2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 4 {
+		t.Fatalf("values = %d", len(values))
+	}
+	if got := values["b2"]; len(got) != 1 || got[0] != 0.25 {
+		t.Fatalf("b2 = %v", got)
+	}
+	if len(orders[0]) != 2 || len(orders[1]) != 2 {
+		t.Fatalf("per-server orders = %v", orders)
+	}
+}
+
+func TestShardedEnforcementPerServer(t *testing.T) {
+	// Global schedule b2 < w1 < b1 < w2; server 0 hosts {w1, w2} so its
+	// local order is [w1 w2]; server 1 hosts {b1, b2} → [b2 b1].
+	sched := testSchedule("b2", "w1", "b1", "w2")
+	addrs, shard, _ := startShardedServers(t, 1, sched)
+	sc, err := DialShards(addrs, 0, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	_, orders, err := sc.PullAll(0, []string{"w2", "b1", "w1", "b2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orders[0][0] != "w1" || orders[0][1] != "w2" {
+		t.Fatalf("server 0 order = %v", orders[0])
+	}
+	if orders[1][0] != "b2" || orders[1][1] != "b1" {
+		t.Fatalf("server 1 order = %v", orders[1])
+	}
+}
+
+func TestShardedTrainingLoop(t *testing.T) {
+	const workers = 2
+	addrs, shard, servers := startShardedServers(t, workers, nil)
+	names := []string{"w1", "b1", "w2", "b2"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc, err := DialShards(addrs, w, shard)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sc.Close()
+			for iter := 0; iter < 3; iter++ {
+				values, _, err := sc.PullAll(iter, names)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				grads := map[string][]float32{}
+				for _, n := range names {
+					g := make([]float32, len(values[n]))
+					for i := range g {
+						g[i] = 1
+					}
+					grads[n] = g
+				}
+				if err := sc.PushAll(iter, grads); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if err := sc.Sync(iter); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Both servers advanced through 3 iterations; grads of 1 with lr 0.1
+	// pull every element down by 0.3.
+	for _, s := range servers {
+		if s.AppliedIter() != 2 {
+			t.Fatalf("server applied iter = %d", s.AppliedIter())
+		}
+	}
+	w1, _ := servers[0].Param("w1")
+	if diff := w1[0] - (1 - 0.3); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("w1[0] = %v, want 0.7", w1[0])
+	}
+}
+
+func TestDialShardsValidation(t *testing.T) {
+	if _, err := DialShards(nil, 0, nil); err == nil {
+		t.Fatal("no servers accepted")
+	}
+	if _, err := DialShards([]string{"127.0.0.1:1"}, 0, map[string]int{"p": 5}); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+func TestShardedUnknownParam(t *testing.T) {
+	addrs, shard, _ := startShardedServers(t, 1, nil)
+	sc, err := DialShards(addrs, 0, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if _, _, err := sc.PullAll(0, []string{"mystery"}); err == nil {
+		t.Fatal("unsharded param accepted")
+	}
+	if err := sc.PushAll(0, map[string][]float32{"mystery": {1}}); err == nil {
+		t.Fatal("unsharded push accepted")
+	}
+}
+
+func TestShardedManyServers(t *testing.T) {
+	// 4 servers, 12 params, scheduled, 2 workers.
+	const nServers, nParams, workers = 4, 12, 2
+	shard := map[string]int{}
+	hosted := make([]map[string][]float32, nServers)
+	var order []string
+	for i := 0; i < nParams; i++ {
+		name := fmt.Sprintf("p%02d", i)
+		srv := i % nServers
+		shard[name] = srv
+		if hosted[srv] == nil {
+			hosted[srv] = map[string][]float32{}
+		}
+		hosted[srv][name] = []float32{float32(i)}
+		order = append(order, name)
+	}
+	// Reverse global priority.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	sched := testSchedule(order...)
+	var addrs []string
+	for i := 0; i < nServers; i++ {
+		s, err := Serve(hosted[i], ServerConfig{Workers: workers, LR: 0.1, Schedule: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		addrs = append(addrs, s.Addr())
+	}
+	names := make([]string, 0, nParams)
+	for n := range shard {
+		names = append(names, n)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc, err := DialShards(addrs, w, shard)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sc.Close()
+			for iter := 0; iter < 2; iter++ {
+				_, orders, err := sc.PullAll(iter, names)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				// Each server's arrivals follow the global order restricted
+				// to its shard (descending param index here).
+				for srv, got := range orders {
+					for k := 1; k < len(got); k++ {
+						if got[k-1] < got[k] {
+							t.Errorf("server %d order not descending: %v", srv, got)
+							return
+						}
+					}
+				}
+				grads := map[string][]float32{}
+				for _, n := range names {
+					grads[n] = []float32{0}
+				}
+				if err := sc.PushAll(iter, grads); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if err := sc.Sync(iter); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

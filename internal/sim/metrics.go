@@ -1,0 +1,59 @@
+package sim
+
+import "sort"
+
+// Utilization reports per-resource busy time as a fraction of the makespan.
+func (r *Result) Utilization() map[string]float64 {
+	busy := make(map[string]float64)
+	for _, sp := range r.Spans {
+		busy[sp.Op.Resource] += sp.End - sp.Start
+	}
+	if r.Makespan > 0 {
+		for res := range busy {
+			busy[res] /= r.Makespan
+		}
+	}
+	return busy
+}
+
+// Overlap returns the fraction of the makespan during which at least one
+// communication op and at least one computation op run concurrently — the
+// quantity TicTac maximizes ("the extent of overlap of computation and
+// communication" in the abstract). Zero when either class is absent.
+func (r *Result) Overlap() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	type edge struct {
+		at    float64
+		comm  int // +1/-1 communication ops running
+		compu int // +1/-1 computation ops running
+	}
+	var edges []edge
+	for _, sp := range r.Spans {
+		if sp.Op.Kind.IsCommunication() {
+			edges = append(edges, edge{at: sp.Start, comm: 1}, edge{at: sp.End, comm: -1})
+		} else {
+			edges = append(edges, edge{at: sp.Start, compu: 1}, edge{at: sp.End, compu: -1})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		// Process ends before starts at equal timestamps so zero-length
+		// touches don't count as overlap.
+		return (edges[i].comm + edges[i].compu) < (edges[j].comm + edges[j].compu)
+	})
+	var overlap, prev float64
+	comm, compu := 0, 0
+	for _, e := range edges {
+		if comm > 0 && compu > 0 {
+			overlap += e.at - prev
+		}
+		prev = e.at
+		comm += e.comm
+		compu += e.compu
+	}
+	return overlap / r.Makespan
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"tictac/internal/core"
+	"tictac/internal/graph"
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+func TestUtilization(t *testing.T) {
+	g, oracle := figure1()
+	res, err := Run(g, Config{Oracle: oracle, Schedule: sched("recv1", "recv2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := res.Utilization()
+	// Makespan 5: net busy 2 (0.4), compute busy 4 (0.8).
+	if math.Abs(util["worker:0/net:ps:0"]-0.4) > 1e-9 {
+		t.Fatalf("net util = %v", util["worker:0/net:ps:0"])
+	}
+	if math.Abs(util["worker:0/compute"]-0.8) > 1e-9 {
+		t.Fatalf("compute util = %v", util["worker:0/compute"])
+	}
+}
+
+func TestOverlapGoodVsBadOrder(t *testing.T) {
+	g, oracle := figure1()
+	good, err := Run(g, Config{Oracle: oracle, Schedule: sched("recv1", "recv2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Run(g, Config{Oracle: oracle, Schedule: sched("recv2", "recv1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Good order: recv2 [1,2] overlaps op1 [1,4] → 1s overlap of 5s = 0.2.
+	if math.Abs(good.Overlap()-0.2) > 1e-9 {
+		t.Fatalf("good overlap = %v, want 0.2", good.Overlap())
+	}
+	// Bad order: recvs [0,2], ops [2,6] — zero overlap.
+	if bad.Overlap() != 0 {
+		t.Fatalf("bad overlap = %v, want 0", bad.Overlap())
+	}
+	if good.Overlap() <= bad.Overlap() {
+		t.Fatal("good order should overlap more")
+	}
+}
+
+func TestOverlapEdgeCases(t *testing.T) {
+	empty := &Result{}
+	if empty.Overlap() != 0 {
+		t.Fatal("empty result overlap")
+	}
+	// Compute-only graph: no communication → zero overlap.
+	g := timingGraphComputeOnly()
+	res, err := Run(g, Config{Oracle: fixedOracle{def: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overlap() != 0 {
+		t.Fatalf("compute-only overlap = %v", res.Overlap())
+	}
+}
+
+func timingGraphComputeOnly() *graph.Graph {
+	g := graph.New()
+	a := addComp(g, "a")
+	b := addComp(g, "b")
+	g.MustConnect(a, b)
+	return g
+}
+
+// TestOverlapImprovesWithTIC: on a communication-heavy model, enforcing TIC
+// increases the communication/computation overlap fraction versus an
+// adversarial order.
+func TestOverlapImprovesWithTIC(t *testing.T) {
+	spec, _ := model.ByName("ResNet-50 v2")
+	g := model.MustBuildWorker(spec, model.Inference, spec.Batch, "worker:0", nil)
+	tic, err := core.TIC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adversarial := &core.Schedule{Algorithm: "adv", Rank: map[string]int{}}
+	for i := len(tic.Order) - 1; i >= 0; i-- {
+		adversarial.Order = append(adversarial.Order, tic.Order[i])
+	}
+	for i, k := range adversarial.Order {
+		adversarial.Rank[k] = i
+	}
+	oracle := timing.EnvG().Oracle()
+	good, err := Run(g, Config{Oracle: oracle, Schedule: tic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Run(g, Config{Oracle: oracle, Schedule: adversarial, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Overlap() <= bad.Overlap() {
+		t.Fatalf("TIC overlap %v not above adversarial %v", good.Overlap(), bad.Overlap())
+	}
+	if good.Makespan >= bad.Makespan {
+		t.Fatalf("TIC makespan %v not below adversarial %v", good.Makespan, bad.Makespan)
+	}
+}

@@ -1,0 +1,241 @@
+// Package tensor implements the minimal dense float32 linear algebra needed
+// to train real models on the parameter-server runtime: matrices, matmul,
+// bias/activation ops and softmax cross-entropy with gradients.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major float32 matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed rows×cols matrix. It panics on non-positive shapes.
+func New(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols) without copying.
+func FromSlice(rows, cols int, data []float32) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// Randn fills a new rows×cols matrix with Gaussian values scaled by std.
+func Randn(rows, cols int, std float64, rng *rand.Rand) *Dense {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * std)
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Dense) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Dense) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets all elements to 0.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul returns a × b. Shapes must agree.
+func MatMul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulATB returns aᵀ × b (used for weight gradients).
+func MatMulATB(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		brow := b.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a × bᵀ (used for input gradients).
+func MatMulABT(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var sum float32
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			orow[j] = sum
+		}
+	}
+	return out
+}
+
+// AddBiasInPlace adds the 1×cols bias row to every row of m.
+func (m *Dense) AddBiasInPlace(bias []float32) {
+	if len(bias) != m.Cols {
+		panic("tensor: bias length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// ReLUInPlace applies max(0, x) elementwise.
+func (m *Dense) ReLUInPlace() {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// ReLUGradInPlace zeroes grad entries where the activation was <= 0.
+func ReLUGradInPlace(grad, activated *Dense) {
+	if len(grad.Data) != len(activated.Data) {
+		panic("tensor: relu grad shape mismatch")
+	}
+	for i := range grad.Data {
+		if activated.Data[i] <= 0 {
+			grad.Data[i] = 0
+		}
+	}
+}
+
+// ColumnSums returns the per-column sums of m (bias gradients).
+func (m *Dense) ColumnSums() []float32 {
+	sums := make([]float32, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// AXPY computes dst[i] += alpha * src[i].
+func AXPY(alpha float32, src, dst []float32) {
+	if len(src) != len(dst) {
+		panic("tensor: axpy length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func Scale(alpha float32, xs []float32) {
+	for i := range xs {
+		xs[i] *= alpha
+	}
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits against
+// integer labels and the gradient w.r.t. the logits (softmax − onehot)/n.
+func SoftmaxCrossEntropy(logits *Dense, labels []int) (loss float64, grad *Dense) {
+	if len(labels) != logits.Rows {
+		panic("tensor: label count mismatch")
+	}
+	grad = New(logits.Rows, logits.Cols)
+	n := float64(logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Data[i*logits.Cols : (i+1)*logits.Cols]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		label := labels[i]
+		if label < 0 || label >= logits.Cols {
+			panic(fmt.Sprintf("tensor: label %d out of range [0,%d)", label, logits.Cols))
+		}
+		loss += -(float64(row[label]-maxv) - logSum)
+		grow := grad.Data[i*logits.Cols : (i+1)*logits.Cols]
+		for j, v := range row {
+			p := math.Exp(float64(v-maxv)) / sum
+			grow[j] = float32(p / n)
+		}
+		grow[label] -= float32(1 / n)
+	}
+	return loss / n, grad
+}
+
+// Argmax returns the index of the largest value in each row.
+func (m *Dense) Argmax() []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

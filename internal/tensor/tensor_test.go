@@ -1,0 +1,215 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.At(0, 0) != 0 {
+		t.Fatal("set/at")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid shape accepted")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad length accepted")
+		}
+	}()
+	FromSlice(2, 2, []float32{1, 2, 3})
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("matmul[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch accepted")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+// Property: MatMulATB(a, b) == MatMul(aᵀ, b) and MatMulABT(a, b) == MatMul(a, bᵀ).
+func TestQuickTransposedMatMuls(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k, m := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := Randn(n, k, 1, rng)
+		b := Randn(n, m, 1, rng)
+		atb := MatMulATB(a, b)
+		at := transpose(a)
+		want := MatMul(at, b)
+		if !approxEqual(atb.Data, want.Data, 1e-4) {
+			return false
+		}
+		c := Randn(m, k, 1, rng)
+		d := Randn(n, k, 1, rng)
+		abt := MatMulABT(d, c)
+		want2 := MatMul(d, transpose(c))
+		return approxEqual(abt.Data, want2.Data, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func transpose(m *Dense) *Dense {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+func approxEqual(a, b []float32, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBiasAndReLU(t *testing.T) {
+	m := FromSlice(2, 2, []float32{-1, 2, 3, -4})
+	m.AddBiasInPlace([]float32{1, 1})
+	if m.At(0, 0) != 0 || m.At(1, 1) != -3 {
+		t.Fatalf("bias: %v", m.Data)
+	}
+	m.ReLUInPlace()
+	if m.At(1, 1) != 0 || m.At(1, 0) != 4 {
+		t.Fatalf("relu: %v", m.Data)
+	}
+	grad := FromSlice(2, 2, []float32{5, 5, 5, 5})
+	ReLUGradInPlace(grad, m)
+	// Activated entries: (0,1)=3, (1,0)=4 stay; zeros gate the grad.
+	if grad.At(0, 0) != 0 || grad.At(0, 1) != 5 || grad.At(1, 1) != 0 {
+		t.Fatalf("relu grad: %v", grad.Data)
+	}
+}
+
+func TestColumnSums(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	sums := m.ColumnSums()
+	if sums[0] != 5 || sums[1] != 7 || sums[2] != 9 {
+		t.Fatalf("sums = %v", sums)
+	}
+}
+
+func TestAXPYScale(t *testing.T) {
+	dst := []float32{1, 2}
+	AXPY(2, []float32{10, 20}, dst)
+	if dst[0] != 21 || dst[1] != 42 {
+		t.Fatalf("axpy = %v", dst)
+	}
+	Scale(0.5, dst)
+	if dst[0] != 10.5 {
+		t.Fatalf("scale = %v", dst)
+	}
+}
+
+func TestSoftmaxCrossEntropyUniform(t *testing.T) {
+	logits := New(1, 4) // all zeros → uniform distribution
+	loss, grad := SoftmaxCrossEntropy(logits, []int{2})
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Fatalf("loss = %v, want ln4", loss)
+	}
+	// Gradient: p − onehot = 0.25 everywhere except label: 0.25−1.
+	if math.Abs(float64(grad.At(0, 2))+0.75) > 1e-6 {
+		t.Fatalf("grad label = %v", grad.At(0, 2))
+	}
+	if math.Abs(float64(grad.At(0, 0))-0.25) > 1e-6 {
+		t.Fatalf("grad other = %v", grad.At(0, 0))
+	}
+}
+
+// Property: softmax-CE gradient rows sum to ~0 and loss is non-negative.
+func TestQuickSoftmaxGrad(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, c := 1+rng.Intn(6), 2+rng.Intn(5)
+		logits := Randn(n, c, 3, rng)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(c)
+		}
+		loss, grad := SoftmaxCrossEntropy(logits, labels)
+		if loss < 0 {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var sum float64
+			for j := 0; j < c; j++ {
+				sum += float64(grad.At(i, j))
+			}
+			if math.Abs(sum) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Numerical gradient check of the softmax-CE loss w.r.t. logits.
+func TestSoftmaxGradientNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	logits := Randn(3, 4, 1, rng)
+	labels := []int{0, 3, 1}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	const eps = 1e-3
+	for idx := 0; idx < len(logits.Data); idx++ {
+		orig := logits.Data[idx]
+		logits.Data[idx] = orig + eps
+		up, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[idx] = orig - eps
+		down, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[idx] = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-float64(grad.Data[idx])) > 1e-3 {
+			t.Fatalf("grad[%d]: analytic %v vs numeric %v", idx, grad.Data[idx], numeric)
+		}
+	}
+}
+
+func TestArgmaxCloneZero(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 9, 2, 8, 1, 3})
+	am := m.Argmax()
+	if am[0] != 1 || am[1] != 0 {
+		t.Fatalf("argmax = %v", am)
+	}
+	c := m.Clone()
+	c.Zero()
+	if m.At(0, 1) != 9 || c.At(0, 1) != 0 {
+		t.Fatal("clone/zero")
+	}
+}

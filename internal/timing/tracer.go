@@ -1,0 +1,135 @@
+package timing
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tictac/internal/graph"
+)
+
+// Tracer collects per-op runtime measurements from executions. It mirrors
+// the paper's tracing module (§5): the extended TensorFlow tracer that
+// records computation and network-transfer timings at all workers.
+//
+// A Tracer is safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	samples map[string][]float64
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{samples: make(map[string][]float64)}
+}
+
+// Record stores one measured duration (seconds) for the op with the given
+// name. Non-positive durations are clamped to a tiny epsilon so downstream
+// estimators never divide by zero.
+func (t *Tracer) Record(opName string, seconds float64) {
+	if seconds <= 0 {
+		seconds = 1e-9
+	}
+	t.mu.Lock()
+	t.samples[opName] = append(t.samples[opName], seconds)
+	t.mu.Unlock()
+}
+
+// Samples returns a copy of the measurements recorded for opName.
+func (t *Tracer) Samples(opName string) []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]float64(nil), t.samples[opName]...)
+}
+
+// Ops returns the sorted names of all traced ops.
+func (t *Tracer) Ops() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.samples))
+	for n := range t.samples {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset discards all measurements.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.samples = make(map[string][]float64)
+	t.mu.Unlock()
+}
+
+// Len returns the number of distinct ops with at least one sample.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.samples)
+}
+
+// EstimateKind selects how the oracle estimator reduces repeated
+// measurements of an op to a single predicted time.
+type EstimateKind uint8
+
+const (
+	// EstimateMin takes the minimum of the measured runs — the paper's
+	// choice ("Our Time Oracle implementation chooses the minimum of all
+	// measured runs for a given op", §5).
+	EstimateMin EstimateKind = iota
+	// EstimateMean takes the arithmetic mean (ablation).
+	EstimateMean
+	// EstimateLast takes the most recent sample (ablation).
+	EstimateLast
+)
+
+// String returns the estimator name.
+func (k EstimateKind) String() string {
+	switch k {
+	case EstimateMin:
+		return "min"
+	case EstimateMean:
+		return "mean"
+	case EstimateLast:
+		return "last"
+	}
+	return fmt.Sprintf("estimate(%d)", uint8(k))
+}
+
+// Estimator builds an Oracle from the tracer's measurements. Ops without
+// samples fall back to the provided oracle (which may be nil, in which case
+// they are predicted as zero-cost).
+func (t *Tracer) Estimator(kind EstimateKind, fallback Oracle) Oracle {
+	t.mu.Lock()
+	est := make(map[string]float64, len(t.samples))
+	for name, xs := range t.samples {
+		switch kind {
+		case EstimateMean:
+			sum := 0.0
+			for _, x := range xs {
+				sum += x
+			}
+			est[name] = sum / float64(len(xs))
+		case EstimateLast:
+			est[name] = xs[len(xs)-1]
+		default:
+			m := xs[0]
+			for _, x := range xs[1:] {
+				if x < m {
+					m = x
+				}
+			}
+			est[name] = m
+		}
+	}
+	t.mu.Unlock()
+	return OracleFunc(func(op *graph.Op) float64 {
+		if v, ok := est[op.Name]; ok {
+			return v
+		}
+		if fallback != nil {
+			return fallback.Time(op)
+		}
+		return 0
+	})
+}

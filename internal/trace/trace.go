@@ -1,0 +1,105 @@
+// Package trace exports simulated executions in the Chrome trace-event
+// format (catapult JSON), playing the role of TensorFlow's timeline
+// visualization: load the output in chrome://tracing or Perfetto to see
+// per-resource op scheduling, transfer ordering and overlap.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"tictac/internal/sim"
+)
+
+// event is one Chrome trace "complete" event (ph = "X").
+type event struct {
+	Name     string            `json:"name"`
+	Phase    string            `json:"ph"`
+	TsMicros float64           `json:"ts"`
+	DurUs    float64           `json:"dur"`
+	PID      int               `json:"pid"`
+	TID      int               `json:"tid"`
+	Args     map[string]string `json:"args,omitempty"`
+}
+
+// metadata names a pid/tid in the trace viewer.
+type metadata struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid,omitempty"`
+	Args  map[string]any `json:"args"`
+}
+
+// WriteChrome renders the result's spans as a Chrome trace. Devices become
+// processes; resources become threads.
+func WriteChrome(w io.Writer, res *sim.Result) error {
+	if res == nil {
+		return fmt.Errorf("trace: nil result")
+	}
+	devicePID := map[string]int{}
+	resourceTID := map[string]int{}
+	var out []any
+
+	devices := map[string]bool{}
+	resources := map[string]bool{}
+	for _, sp := range res.Spans {
+		devices[sp.Op.Device] = true
+		resources[sp.Op.Resource] = true
+	}
+	for i, d := range sortedKeys(devices) {
+		devicePID[d] = i + 1
+		out = append(out, metadata{
+			Name: "process_name", Phase: "M", PID: i + 1,
+			Args: map[string]any{"name": d},
+		})
+	}
+	for i, r := range sortedKeys(resources) {
+		resourceTID[r] = i + 1
+	}
+	for r, tid := range resourceTID {
+		// Attach the thread label to the owning device's process.
+		pid := 0
+		for d, p := range devicePID {
+			if len(r) >= len(d) && r[:len(d)] == d {
+				pid = p
+				break
+			}
+		}
+		if pid == 0 {
+			pid = 1
+		}
+		out = append(out, metadata{
+			Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": r},
+		})
+	}
+	for _, sp := range res.Spans {
+		pid := devicePID[sp.Op.Device]
+		out = append(out, event{
+			Name:     sp.Op.Name,
+			Phase:    "X",
+			TsMicros: sp.Start * 1e6,
+			DurUs:    (sp.End - sp.Start) * 1e6,
+			PID:      pid,
+			TID:      resourceTID[sp.Op.Resource],
+			Args: map[string]string{
+				"kind":  sp.Op.Kind.String(),
+				"param": sp.Op.Param,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

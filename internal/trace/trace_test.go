@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tictac/internal/model"
+	"tictac/internal/sim"
+	"tictac/internal/timing"
+)
+
+func TestWriteChromeProducesValidJSON(t *testing.T) {
+	spec, _ := model.ByName("AlexNet v2")
+	g := model.MustBuildWorker(spec, model.Training, spec.Batch, "worker:0", nil)
+	res, err := sim.Run(g, sim.Config{Oracle: timing.EnvG().Oracle(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// Metadata + one event per op.
+	var complete, meta int
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			complete++
+			if e["ts"].(float64) < 0 || e["dur"].(float64) < 0 {
+				t.Fatalf("negative timing: %v", e)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete != g.Len() {
+		t.Fatalf("complete events = %d, want %d", complete, g.Len())
+	}
+	if meta < 2 {
+		t.Fatalf("metadata events = %d", meta)
+	}
+}
+
+func TestWriteChromeNilResult(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}
+
+func TestWriteChromeMultiDevice(t *testing.T) {
+	spec, _ := model.ByName("AlexNet v2")
+	// Multi-device via the sim on a trivially sharded worker graph.
+	g := model.MustBuildWorker(spec, model.Inference, spec.Batch, "worker:0", func(p string) string {
+		if len(p)%2 == 0 {
+			return "worker:0/net:ps:0"
+		}
+		return "worker:0/net:ps:1"
+	})
+	res, err := sim.Run(g, sim.Config{Oracle: timing.EnvG().Oracle(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("net:ps:1")) {
+		t.Fatal("trace lost a resource lane")
+	}
+}

@@ -1,0 +1,102 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tictac/internal/core"
+	"tictac/internal/data"
+	"tictac/internal/psrt"
+	"tictac/internal/tensor"
+)
+
+// Predict runs the MLP forward pass and returns the logits.
+func Predict(cfg MLPConfig, params map[string][]float32, x *tensor.Dense) *tensor.Dense {
+	w1 := tensor.FromSlice(cfg.Features, cfg.Hidden, params["w1"])
+	w2 := tensor.FromSlice(cfg.Hidden, cfg.Classes, params["w2"])
+	h := tensor.MatMul(x, w1)
+	h.AddBiasInPlace(params["b1"])
+	h.ReLUInPlace()
+	logits := tensor.MatMul(h, w2)
+	logits.AddBiasInPlace(params["b2"])
+	return logits
+}
+
+// InferenceResult summarizes a run of real inference agents against a TCP
+// parameter server (the Figure 3 reinforcement-learning serving scenario).
+type InferenceResult struct {
+	// RoundLatencies[a][r] is agent a's wall-clock time for round r
+	// (pull every parameter + forward pass).
+	RoundLatencies [][]float64
+	// ArrivalOrders records agent 0's parameter arrival order per round.
+	ArrivalOrders [][]string
+	// Predictions counts total predictions made across agents.
+	Predictions int
+}
+
+// RunInferenceAgents starts a parameter server hosting the MLP's weights
+// and `agents` concurrent inference agents, each performing `rounds` of
+// pull-all-parameters → forward-pass on a batch. schedule, when non-nil,
+// is enforced by the server's §5.1 module. This is the real-stack analogue
+// of the simulated RL-inference experiments: agents never push gradients.
+func RunInferenceAgents(ds *data.Dataset, cfg MLPConfig, agents, rounds, batch int, schedule *core.Schedule) (*InferenceResult, error) {
+	if agents < 1 || rounds < 1 || batch < 1 {
+		return nil, fmt.Errorf("train: invalid agents=%d rounds=%d batch=%d", agents, rounds, batch)
+	}
+	server, err := psrt.Serve(InitParams(cfg), psrt.ServerConfig{
+		Workers:  agents,
+		Schedule: schedule,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer server.Close()
+
+	res := &InferenceResult{
+		RoundLatencies: make([][]float64, agents),
+		ArrivalOrders:  make([][]string, rounds),
+	}
+	names := ParamNames()
+	errs := make([]error, agents)
+	preds := make([]int, agents)
+	var wg sync.WaitGroup
+	for a := 0; a < agents; a++ {
+		res.RoundLatencies[a] = make([]float64, rounds)
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			client, err := psrt.Dial(server.Addr(), a)
+			if err != nil {
+				errs[a] = err
+				return
+			}
+			defer client.Close()
+			for r := 0; r < rounds; r++ {
+				started := time.Now()
+				params, order, err := client.PullAll(r, names)
+				if err != nil {
+					errs[a] = fmt.Errorf("agent %d round %d: %w", a, r, err)
+					return
+				}
+				x, _ := ds.Batch(a*rounds+r, batch)
+				logits := Predict(cfg, params, x)
+				preds[a] += len(logits.Argmax())
+				res.RoundLatencies[a][r] = time.Since(started).Seconds()
+				if a == 0 {
+					res.ArrivalOrders[r] = order
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range preds {
+		res.Predictions += p
+	}
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package train
+
+import (
+	"testing"
+
+	"tictac/internal/core"
+	"tictac/internal/data"
+)
+
+func TestPredictShapes(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t)
+	params := InitParams(cfg)
+	x, _ := ds.Batch(0, 8)
+	logits := Predict(cfg, params, x)
+	if logits.Rows != 8 || logits.Cols != cfg.Classes {
+		t.Fatalf("logits shape %dx%d", logits.Rows, logits.Cols)
+	}
+}
+
+func TestRunInferenceAgentsBaseline(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t)
+	res, err := RunInferenceAgents(ds, cfg, 3, 5, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RoundLatencies) != 3 {
+		t.Fatalf("agents = %d", len(res.RoundLatencies))
+	}
+	for a, lats := range res.RoundLatencies {
+		if len(lats) != 5 {
+			t.Fatalf("agent %d rounds = %d", a, len(lats))
+		}
+		for _, l := range lats {
+			if l <= 0 {
+				t.Fatalf("agent %d has non-positive latency", a)
+			}
+		}
+	}
+	if res.Predictions != 3*5*8 {
+		t.Fatalf("predictions = %d", res.Predictions)
+	}
+	if len(res.ArrivalOrders) != 5 || len(res.ArrivalOrders[0]) != 4 {
+		t.Fatalf("arrival orders = %v", res.ArrivalOrders)
+	}
+}
+
+func TestRunInferenceAgentsEnforced(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t)
+	g := BuildGraph(cfg, "worker:0")
+	sched, err := core.TIC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunInferenceAgents(ds, cfg, 2, 4, 8, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, order := range res.ArrivalOrders {
+		for i := range sched.Order {
+			if order[i] != sched.Order[i] {
+				t.Fatalf("round %d: arrival %v != schedule %v", r, order, sched.Order)
+			}
+		}
+	}
+}
+
+func TestRunInferenceAgentsValidation(t *testing.T) {
+	cfg := testConfig()
+	ds, _ := data.SyntheticClassification(20, cfg.Features, cfg.Classes, 1)
+	if _, err := RunInferenceAgents(ds, cfg, 0, 1, 1, nil); err == nil {
+		t.Fatal("0 agents accepted")
+	}
+	if _, err := RunInferenceAgents(ds, cfg, 1, 0, 1, nil); err == nil {
+		t.Fatal("0 rounds accepted")
+	}
+	if _, err := RunInferenceAgents(ds, cfg, 1, 1, 0, nil); err == nil {
+		t.Fatal("0 batch accepted")
+	}
+}

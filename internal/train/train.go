@@ -1,0 +1,253 @@
+// Package train runs real stochastic-gradient training of a small MLP
+// classifier, both locally and data-parallel over the psrt parameter-server
+// runtime. It exists to reproduce Figure 8: enforcing a transfer schedule
+// changes when parameters arrive, not what is computed, so the loss curve
+// is unaffected.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"tictac/internal/core"
+	"tictac/internal/data"
+	"tictac/internal/graph"
+	"tictac/internal/psrt"
+	"tictac/internal/tensor"
+)
+
+// MLPConfig shapes the two-layer perceptron.
+type MLPConfig struct {
+	// Features is the input dimensionality.
+	Features int
+	// Hidden is the hidden-layer width.
+	Hidden int
+	// Classes is the number of output classes.
+	Classes int
+	// LR is the SGD learning rate.
+	LR float32
+	// Seed seeds the parameter initialization.
+	Seed int64
+}
+
+// ParamNames returns the model's parameter-tensor names in layer order.
+func ParamNames() []string { return []string{"w1", "b1", "w2", "b2"} }
+
+// InitParams returns freshly initialized parameters for the config.
+func InitParams(cfg MLPConfig) map[string][]float32 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w1 := tensor.Randn(cfg.Features, cfg.Hidden, 0.1, rng)
+	w2 := tensor.Randn(cfg.Hidden, cfg.Classes, 0.1, rng)
+	return map[string][]float32{
+		"w1": w1.Data,
+		"b1": make([]float32, cfg.Hidden),
+		"w2": w2.Data,
+		"b2": make([]float32, cfg.Classes),
+	}
+}
+
+// LossAndGrads runs one forward/backward pass of the MLP on (x, y) with the
+// given parameter values and returns the mean cross-entropy loss plus
+// per-parameter gradients.
+func LossAndGrads(cfg MLPConfig, params map[string][]float32, x *tensor.Dense, y []int) (float64, map[string][]float32) {
+	w1 := tensor.FromSlice(cfg.Features, cfg.Hidden, params["w1"])
+	w2 := tensor.FromSlice(cfg.Hidden, cfg.Classes, params["w2"])
+
+	h := tensor.MatMul(x, w1)
+	h.AddBiasInPlace(params["b1"])
+	h.ReLUInPlace()
+	logits := tensor.MatMul(h, w2)
+	logits.AddBiasInPlace(params["b2"])
+
+	loss, dLogits := tensor.SoftmaxCrossEntropy(logits, y)
+
+	dW2 := tensor.MatMulATB(h, dLogits)
+	dB2 := dLogits.ColumnSums()
+	dH := tensor.MatMulABT(dLogits, w2)
+	tensor.ReLUGradInPlace(dH, h)
+	dW1 := tensor.MatMulATB(x, dH)
+	dB1 := dH.ColumnSums()
+
+	return loss, map[string][]float32{
+		"w1": dW1.Data, "b1": dB1, "w2": dW2.Data, "b2": dB2,
+	}
+}
+
+// Accuracy evaluates classification accuracy of the parameters on a dataset.
+func Accuracy(cfg MLPConfig, params map[string][]float32, ds *data.Dataset) float64 {
+	w1 := tensor.FromSlice(cfg.Features, cfg.Hidden, params["w1"])
+	w2 := tensor.FromSlice(cfg.Hidden, cfg.Classes, params["w2"])
+	h := tensor.MatMul(ds.X, w1)
+	h.AddBiasInPlace(params["b1"])
+	h.ReLUInPlace()
+	logits := tensor.MatMul(h, w2)
+	logits.AddBiasInPlace(params["b2"])
+	pred := logits.Argmax()
+	correct := 0
+	for i, p := range pred {
+		if p == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// BuildGraph returns the MLP's worker-partition DAG (recvs → forward →
+// backward → sends), so the real training stack can be scheduled by the
+// same TIC/TAC ordering wizard as the simulated models.
+func BuildGraph(cfg MLPConfig, device string) *graph.Graph {
+	g := graph.New()
+	compute := device + "/compute"
+	channel := device + "/net:ps:0"
+	sizes := map[string]int{
+		"w1": cfg.Features * cfg.Hidden,
+		"b1": cfg.Hidden,
+		"w2": cfg.Hidden * cfg.Classes,
+		"b2": cfg.Classes,
+	}
+	recv := map[string]*graph.Op{}
+	for _, name := range ParamNames() {
+		op := g.MustAddOp("recv/"+name, graph.Recv)
+		op.Device, op.Resource, op.Param = device, channel, name
+		op.Bytes = int64(4 * sizes[name])
+		recv[name] = op
+	}
+	comp := func(name string, flops int64, ins ...*graph.Op) *graph.Op {
+		op := g.MustAddOp(name, graph.Compute)
+		op.Device, op.Resource, op.FLOPs = device, compute, flops
+		for _, in := range ins {
+			g.MustConnect(in, op)
+		}
+		return op
+	}
+	mm1 := comp("fwd/matmul1", int64(2*cfg.Features*cfg.Hidden), recv["w1"])
+	bias1 := comp("fwd/bias1", int64(cfg.Hidden), mm1, recv["b1"])
+	relu := comp("fwd/relu", int64(cfg.Hidden), bias1)
+	mm2 := comp("fwd/matmul2", int64(2*cfg.Hidden*cfg.Classes), relu, recv["w2"])
+	bias2 := comp("fwd/bias2", int64(cfg.Classes), mm2, recv["b2"])
+	loss := comp("fwd/loss", int64(cfg.Classes), bias2)
+	dLogits := comp("bwd/dlogits", int64(cfg.Classes), loss)
+	dW2 := comp("bwd/dw2", int64(2*cfg.Hidden*cfg.Classes), dLogits, relu)
+	dB2 := comp("bwd/db2", int64(cfg.Classes), dLogits)
+	dH := comp("bwd/dh", int64(2*cfg.Hidden*cfg.Classes), dLogits)
+	dW1 := comp("bwd/dw1", int64(2*cfg.Features*cfg.Hidden), dH)
+	dB1 := comp("bwd/db1", int64(cfg.Hidden), dH)
+	for name, src := range map[string]*graph.Op{"w2": dW2, "b2": dB2, "w1": dW1, "b1": dB1} {
+		op := g.MustAddOp("send/grad/"+name, graph.Send)
+		op.Device, op.Resource, op.Param = device, channel, name
+		op.Bytes = int64(4 * sizes[name])
+		g.MustConnect(src, op)
+	}
+	return g
+}
+
+// TrainLocal runs single-process SGD and returns the loss per iteration.
+func TrainLocal(ds *data.Dataset, cfg MLPConfig, iters, batch int) []float64 {
+	params := InitParams(cfg)
+	losses := make([]float64, 0, iters)
+	for it := 0; it < iters; it++ {
+		x, y := ds.Batch(it, batch)
+		loss, grads := LossAndGrads(cfg, params, x, y)
+		for name, g := range grads {
+			tensor.AXPY(-cfg.LR, g, params[name])
+		}
+		losses = append(losses, loss)
+	}
+	return losses
+}
+
+// ParallelResult summarizes a data-parallel training run.
+type ParallelResult struct {
+	// Losses is worker 0's mean batch loss per iteration (pre-update).
+	Losses []float64
+	// ArrivalOrders records worker 0's parameter arrival order each
+	// iteration.
+	ArrivalOrders [][]string
+	// Final holds the final parameter values from the server.
+	Final map[string][]float32
+}
+
+// TrainParallel trains the MLP with synchronous data-parallel SGD over a
+// real TCP parameter server. schedule, when non-nil, is enforced by the
+// server's §5.1 sender-side module; nil reproduces the unordered baseline.
+func TrainParallel(ds *data.Dataset, cfg MLPConfig, workers, iters, batch int, schedule *core.Schedule) (*ParallelResult, error) {
+	if workers < 1 || iters < 1 || batch < 1 {
+		return nil, fmt.Errorf("train: invalid workers=%d iters=%d batch=%d", workers, iters, batch)
+	}
+	server, err := psrt.Serve(InitParams(cfg), psrt.ServerConfig{
+		Workers:  workers,
+		LR:       cfg.LR,
+		Schedule: schedule,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer server.Close()
+
+	res := &ParallelResult{
+		Losses:        make([]float64, iters),
+		ArrivalOrders: make([][]string, iters),
+	}
+	names := ParamNames()
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client, err := psrt.Dial(server.Addr(), w)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer client.Close()
+			shard := ds.Shard(w, workers)
+			rng := rand.New(rand.NewSource(int64(w)*1009 + 13))
+			for it := 0; it < iters; it++ {
+				// Request transfers in a random order each iteration,
+				// mirroring the arbitrary recv activation order of DAG
+				// executors (§2.2). With a schedule the server's
+				// enforcement module re-serializes them regardless.
+				reqOrder := append([]string(nil), names...)
+				rng.Shuffle(len(reqOrder), func(i, j int) {
+					reqOrder[i], reqOrder[j] = reqOrder[j], reqOrder[i]
+				})
+				params, order, err := client.PullAll(it, reqOrder)
+				if err != nil {
+					errs[w] = fmt.Errorf("worker %d iter %d: %w", w, it, err)
+					return
+				}
+				x, y := shard.Batch(it, batch)
+				loss, grads := LossAndGrads(cfg, params, x, y)
+				if w == 0 {
+					res.Losses[it] = loss
+					res.ArrivalOrders[it] = order
+				}
+				if err := client.PushAll(it, grads); err != nil {
+					errs[w] = fmt.Errorf("worker %d iter %d: %w", w, it, err)
+					return
+				}
+				if err := client.Sync(it); err != nil {
+					errs[w] = fmt.Errorf("worker %d iter %d: %w", w, it, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Final = make(map[string][]float32, len(names))
+	for _, name := range names {
+		vs, ok := server.Param(name)
+		if !ok {
+			return nil, fmt.Errorf("train: final param %s missing", name)
+		}
+		res.Final[name] = vs
+	}
+	return res, nil
+}

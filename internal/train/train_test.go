@@ -1,0 +1,203 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"tictac/internal/core"
+	"tictac/internal/data"
+	"tictac/internal/graph"
+	"tictac/internal/timing"
+)
+
+func testConfig() MLPConfig {
+	return MLPConfig{Features: 10, Hidden: 16, Classes: 3, LR: 0.1, Seed: 7}
+}
+
+func testDataset(t *testing.T) *data.Dataset {
+	t.Helper()
+	ds, err := data.SyntheticClassification(300, 10, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestInitParamsShapes(t *testing.T) {
+	cfg := testConfig()
+	params := InitParams(cfg)
+	if len(params["w1"]) != cfg.Features*cfg.Hidden {
+		t.Fatalf("w1 = %d", len(params["w1"]))
+	}
+	if len(params["b2"]) != cfg.Classes {
+		t.Fatalf("b2 = %d", len(params["b2"]))
+	}
+	// Deterministic for equal seeds.
+	again := InitParams(cfg)
+	for i := range params["w1"] {
+		if params["w1"][i] != again["w1"][i] {
+			t.Fatal("init not deterministic")
+		}
+	}
+}
+
+func TestTrainLocalLearns(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t)
+	losses := TrainLocal(ds, cfg, 60, 32)
+	if len(losses) != 60 {
+		t.Fatalf("losses = %d", len(losses))
+	}
+	first := avg(losses[:10])
+	last := avg(losses[50:])
+	if last >= first*0.8 {
+		t.Fatalf("loss did not decrease: %.4f → %.4f", first, last)
+	}
+	params := InitParams(cfg)
+	if acc := Accuracy(cfg, params, ds); acc < 0 || acc > 1 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestGradientsMatchNumerical(t *testing.T) {
+	cfg := MLPConfig{Features: 4, Hidden: 5, Classes: 3, LR: 0.1, Seed: 3}
+	ds, _ := data.SyntheticClassification(8, 4, 3, 5)
+	params := InitParams(cfg)
+	x, y := ds.Batch(0, 8)
+	_, grads := LossAndGrads(cfg, params, x, y)
+	const eps = 1e-2
+	for _, name := range ParamNames() {
+		vs := params[name]
+		for _, idx := range []int{0, len(vs) / 2, len(vs) - 1} {
+			orig := vs[idx]
+			vs[idx] = orig + eps
+			up, _ := LossAndGrads(cfg, params, x, y)
+			vs[idx] = orig - eps
+			down, _ := LossAndGrads(cfg, params, x, y)
+			vs[idx] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := float64(grads[name][idx])
+			if math.Abs(numeric-analytic) > 2e-2*(1+math.Abs(numeric)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, idx, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestBuildGraphShape(t *testing.T) {
+	cfg := testConfig()
+	g := BuildGraph(cfg, "worker:0")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(g.OpsOfKind(graph.Recv)); n != 4 {
+		t.Fatalf("recvs = %d", n)
+	}
+	if n := len(g.OpsOfKind(graph.Send)); n != 4 {
+		t.Fatalf("sends = %d", n)
+	}
+	for _, op := range g.OpsOfKind(graph.Recv) {
+		if !op.IsRoot() {
+			t.Fatalf("recv %s not root", op.Name)
+		}
+	}
+	// The graph is schedulable by both heuristics.
+	if _, err := core.TIC(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.TAC(g, timing.EnvC().Oracle()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTACOnMLPOrdersW1First(t *testing.T) {
+	// w1 gates the first matmul; under TAC it should precede w2/b2.
+	g := BuildGraph(testConfig(), "worker:0")
+	s, err := core.TAC(g, timing.EnvC().Oracle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, k := range s.Order {
+		pos[k] = i
+	}
+	if pos["w1"] > pos["w2"] {
+		t.Fatalf("TAC order = %v: w1 should precede w2", s.Order)
+	}
+}
+
+func TestTrainParallelBaseline(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t)
+	res, err := TrainParallel(ds, cfg, 2, 30, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Losses) != 30 || len(res.ArrivalOrders) != 30 {
+		t.Fatalf("result sizes: %d %d", len(res.Losses), len(res.ArrivalOrders))
+	}
+	if avg(res.Losses[20:]) >= avg(res.Losses[:10]) {
+		t.Fatalf("parallel loss did not decrease: %v → %v", avg(res.Losses[:10]), avg(res.Losses[20:]))
+	}
+	if len(res.Final["w1"]) != cfg.Features*cfg.Hidden {
+		t.Fatal("final params missing")
+	}
+}
+
+// TestFigure8OrderingDoesNotChangeConvergence is the Figure 8 claim: the
+// loss trajectory with an enforced schedule matches the unordered baseline
+// (scheduling changes when parameters arrive, not the math).
+func TestFigure8OrderingDoesNotChangeConvergence(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t)
+	g := BuildGraph(cfg, "worker:0")
+	sched, err := core.TIC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := TrainParallel(ds, cfg, 2, 40, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, err := TrainParallel(ds, cfg, 2, 40, 16, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Losses {
+		diff := math.Abs(base.Losses[i] - ordered.Losses[i])
+		tol := 1e-3 * (1 + math.Abs(base.Losses[i]))
+		if diff > tol {
+			t.Fatalf("iter %d: loss diverged %v vs %v", i, base.Losses[i], ordered.Losses[i])
+		}
+	}
+	// And the enforced run arrives in schedule order every iteration.
+	for i, order := range ordered.ArrivalOrders {
+		for j := range sched.Order {
+			if order[j] != sched.Order[j] {
+				t.Fatalf("iter %d: arrival %v != schedule %v", i, order, sched.Order)
+			}
+		}
+	}
+}
+
+func TestTrainParallelValidation(t *testing.T) {
+	cfg := testConfig()
+	ds := testDataset(t)
+	if _, err := TrainParallel(ds, cfg, 0, 1, 1, nil); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, err := TrainParallel(ds, cfg, 1, 0, 1, nil); err == nil {
+		t.Fatal("0 iters accepted")
+	}
+	if _, err := TrainParallel(ds, cfg, 1, 1, 0, nil); err == nil {
+		t.Fatal("0 batch accepted")
+	}
+}
+
+func avg(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

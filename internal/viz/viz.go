@@ -1,0 +1,139 @@
+// Package viz renders simulated executions as ASCII per-resource timelines
+// (a terminal Gantt chart), useful for eyeballing overlap and transfer
+// ordering on small graphs without leaving the shell.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tictac/internal/sim"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Width is the number of character cells the makespan maps onto
+	// (default 72).
+	Width int
+	// MaxOps caps the number of per-resource rows rendered (default: all).
+	MaxOps int
+}
+
+// Timeline renders one row per resource: time flows left to right, each op
+// occupies a run of cells labelled with its index into the printed legend.
+func Timeline(w io.Writer, res *sim.Result, opts Options) error {
+	if res == nil || len(res.Spans) == 0 {
+		return fmt.Errorf("viz: empty result")
+	}
+	width := opts.Width
+	if width <= 0 {
+		width = 72
+	}
+	makespan := res.Makespan
+	if makespan <= 0 {
+		return fmt.Errorf("viz: non-positive makespan")
+	}
+
+	byResource := map[string][]sim.Span{}
+	for _, sp := range res.Spans {
+		byResource[sp.Op.Resource] = append(byResource[sp.Op.Resource], sp)
+	}
+	resources := make([]string, 0, len(byResource))
+	for r := range byResource {
+		resources = append(resources, r)
+	}
+	sort.Strings(resources)
+
+	// Legend indices in span start order, capped.
+	type legendEntry struct {
+		label string
+		name  string
+	}
+	var legend []legendEntry
+	labelOf := map[string]string{}
+	ordered := append([]sim.Span(nil), res.Spans...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
+	for _, sp := range ordered {
+		if opts.MaxOps > 0 && len(legend) >= opts.MaxOps {
+			break
+		}
+		if _, ok := labelOf[sp.Op.Name]; ok {
+			continue
+		}
+		label := labelFor(len(legend))
+		labelOf[sp.Op.Name] = label
+		legend = append(legend, legendEntry{label: label, name: sp.Op.Name})
+	}
+
+	nameWidth := 0
+	for _, r := range resources {
+		if len(r) > nameWidth {
+			nameWidth = len(r)
+		}
+	}
+	fmt.Fprintf(w, "timeline: %d resources, makespan %.4fs, one column ≈ %.4fs\n",
+		len(resources), makespan, makespan/float64(width))
+	for _, r := range resources {
+		cells := make([]byte, width)
+		for i := range cells {
+			cells[i] = '.'
+		}
+		for _, sp := range byResource[r] {
+			label, ok := labelOf[sp.Op.Name]
+			if !ok {
+				label = "+"
+			}
+			lo := int(sp.Start / makespan * float64(width))
+			hi := int(sp.End / makespan * float64(width))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			for i := lo; i < hi; i++ {
+				cells[i] = label[0]
+			}
+		}
+		fmt.Fprintf(w, "%-*s |%s|\n", nameWidth, r, string(cells))
+	}
+	fmt.Fprintln(w, "legend:")
+	for _, e := range legend {
+		fmt.Fprintf(w, "  %s = %s\n", e.label, e.name)
+	}
+	return nil
+}
+
+// labelFor maps an index to a distinct single-character label: a-z, A-Z,
+// 0-9, then '#'.
+func labelFor(i int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	if i < len(alphabet) {
+		return string(alphabet[i])
+	}
+	return "#"
+}
+
+// Summary prints per-resource utilization: busy time / makespan.
+func Summary(w io.Writer, res *sim.Result) {
+	busy := map[string]float64{}
+	for _, sp := range res.Spans {
+		busy[sp.Op.Resource] += sp.End - sp.Start
+	}
+	resources := make([]string, 0, len(busy))
+	for r := range busy {
+		resources = append(resources, r)
+	}
+	sort.Strings(resources)
+	var lines []string
+	for _, r := range resources {
+		util := 0.0
+		if res.Makespan > 0 {
+			util = busy[r] / res.Makespan * 100
+		}
+		lines = append(lines, fmt.Sprintf("  %-28s busy %6.2fs  (%5.1f%%)", r, busy[r], util))
+	}
+	fmt.Fprintf(w, "utilization over %.4fs:\n%s\n", res.Makespan, strings.Join(lines, "\n"))
+}

@@ -1,0 +1,89 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tictac/internal/graph"
+	"tictac/internal/sim"
+	"tictac/internal/timing"
+)
+
+func runToy(t *testing.T) *sim.Result {
+	t.Helper()
+	g := graph.New()
+	r1 := g.MustAddOp("recv1", graph.Recv)
+	r1.Device, r1.Resource, r1.Bytes = "w", "w/net", 10<<20
+	c1 := g.MustAddOp("op1", graph.Compute)
+	c1.Device, c1.Resource, c1.FLOPs = "w", "w/compute", 1e10
+	g.MustConnect(r1, c1)
+	res, err := sim.Run(g, sim.Config{Oracle: timing.EnvG().Oracle()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTimelineRenders(t *testing.T) {
+	res := runToy(t)
+	var buf bytes.Buffer
+	if err := Timeline(&buf, res, Options{Width: 40}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"w/net", "w/compute", "legend:", "a = "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Each row has exactly width cells between pipes.
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			j := strings.LastIndexByte(line, '|')
+			if j-i-1 != 40 {
+				t.Fatalf("row width %d: %q", j-i-1, line)
+			}
+		}
+	}
+}
+
+func TestTimelineErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Timeline(&buf, nil, Options{}); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	if err := Timeline(&buf, &sim.Result{}, Options{}); err == nil {
+		t.Fatal("empty result accepted")
+	}
+}
+
+func TestTimelineMaxOps(t *testing.T) {
+	res := runToy(t)
+	var buf bytes.Buffer
+	if err := Timeline(&buf, res, Options{Width: 30, MaxOps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), " = ") != 1 {
+		t.Fatalf("legend not capped:\n%s", buf.String())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	res := runToy(t)
+	var buf bytes.Buffer
+	Summary(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "w/net") || !strings.Contains(out, "%") {
+		t.Fatalf("summary broken:\n%s", out)
+	}
+}
+
+func TestLabelFor(t *testing.T) {
+	if labelFor(0) != "a" || labelFor(26) != "A" || labelFor(61) != "9" {
+		t.Fatal("labels")
+	}
+	if labelFor(200) != "#" {
+		t.Fatal("overflow label")
+	}
+}

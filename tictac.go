@@ -1,0 +1,185 @@
+// Package tictac reproduces "TicTac: Accelerating Distributed Deep Learning
+// with Communication Scheduling" (Hashemi, Abdu Jyothi, Campbell — MLSYS
+// 2019) as a self-contained Go library.
+//
+// TicTac observes that Parameter-Server training with DAG-based frameworks
+// transfers parameters to workers in a random order every iteration, hurting
+// communication/computation overlap and creating stragglers. It fixes this
+// by assigning priorities to transfers via two heuristics over the worker's
+// computational DAG — TIC (timing-independent) and TAC (timing-aware) — and
+// enforcing the order at the sender.
+//
+// The package is a facade over the building blocks:
+//
+//   - Graph / Op: partitioned computational DAGs (internal/graph)
+//   - ModelSpec: the ten Table 1 DNN models (internal/model)
+//   - Platform / Oracle / Tracer: cost model and time oracle (internal/timing)
+//   - TIC / TAC / Efficiency / Speedup: the paper's contribution (internal/core)
+//   - Simulate: multi-resource discrete-event execution (internal/sim)
+//   - BuildCluster: Model-Replica + PS graphs and iteration protocol
+//     (internal/cluster)
+//
+// Quickstart:
+//
+//	spec, _ := tictac.ModelByName("ResNet-50 v2")
+//	c, _ := tictac.BuildCluster(tictac.ClusterConfig{
+//		Model: spec, Mode: tictac.Training, Workers: 4, PS: 1,
+//		Platform: tictac.EnvG(),
+//	})
+//	sched, _ := c.ComputeSchedule(tictac.AlgoTIC, 0, 1)
+//	out, _ := c.Run(tictac.DefaultExperiment, tictac.RunOptions{Schedule: sched, Jitter: -1})
+//	fmt.Println(out.MeanThroughput)
+package tictac
+
+import (
+	"io"
+
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+	"tictac/internal/graph"
+	"tictac/internal/model"
+	"tictac/internal/sim"
+	"tictac/internal/timing"
+)
+
+// Re-exported types. Aliases keep the public surface in one import while
+// the implementation stays modular.
+type (
+	// Graph is a partitioned computational DAG.
+	Graph = graph.Graph
+	// Op is one node of a Graph.
+	Op = graph.Op
+	// OpKind classifies ops (Compute, Recv, Send, ...).
+	OpKind = graph.Kind
+	// GraphStats summarizes a graph.
+	GraphStats = graph.Stats
+
+	// ModelSpec describes one Table 1 model.
+	ModelSpec = model.Spec
+	// ModelParam is one parameter tensor of a model.
+	ModelParam = model.Param
+	// Mode selects inference or training worker graphs.
+	Mode = model.Mode
+
+	// Schedule is a transfer-priority assignment produced by TIC or TAC.
+	Schedule = core.Schedule
+	// Algorithm names a scheduling heuristic.
+	Algorithm = core.Algorithm
+
+	// Platform is an execution-environment cost model.
+	Platform = timing.Platform
+	// Oracle predicts per-op execution times (§3.1).
+	Oracle = timing.Oracle
+	// OracleFunc adapts a function to Oracle.
+	OracleFunc = timing.OracleFunc
+	// Tracer collects per-op runtime measurements (§5 tracing module).
+	Tracer = timing.Tracer
+
+	// SimConfig configures one simulated execution.
+	SimConfig = sim.Config
+	// SimResult summarizes one simulated execution.
+	SimResult = sim.Result
+
+	// ClusterConfig describes a Model-Replica + PS setup.
+	ClusterConfig = cluster.Config
+	// Cluster is a built multi-device execution graph.
+	Cluster = cluster.Cluster
+	// RunOptions controls measured cluster runs.
+	RunOptions = cluster.RunOptions
+	// Experiment is the warmup/measure protocol of §6.
+	Experiment = cluster.Experiment
+	// Outcome aggregates measured iterations.
+	Outcome = cluster.Outcome
+	// Iteration summarizes one synchronized step.
+	Iteration = cluster.Iteration
+)
+
+// Op kinds.
+const (
+	Compute   = graph.Compute
+	Recv      = graph.Recv
+	Send      = graph.Send
+	Aggregate = graph.Aggregate
+	Read      = graph.Read
+	Update    = graph.Update
+	Variable  = graph.Variable
+)
+
+// Worker-graph modes.
+const (
+	Inference = model.Inference
+	Training  = model.Training
+)
+
+// Scheduling algorithms.
+const (
+	AlgoNone = core.AlgoNone
+	AlgoTIC  = core.AlgoTIC
+	AlgoTAC  = core.AlgoTAC
+)
+
+// DefaultExperiment is the paper's 2-warmup / 10-measured protocol.
+var DefaultExperiment = cluster.DefaultExperiment
+
+// NewGraph returns an empty computational graph.
+func NewGraph() *Graph { return graph.New() }
+
+// Models returns the ten Table 1 model specs in paper order.
+func Models() []ModelSpec { return model.Catalog() }
+
+// ModelByName looks a Table 1 model up by name, e.g. "Inception v3".
+func ModelByName(name string) (ModelSpec, bool) { return model.ByName(name) }
+
+// BuildWorkerGraph constructs a single worker's partitioned DAG for the
+// model (all transfers on one channel). For multi-PS layouts use
+// BuildCluster, which shards parameters and wires PS-side ops.
+func BuildWorkerGraph(spec ModelSpec, mode Mode, batch int, device string) (*Graph, error) {
+	return model.BuildWorker(spec, mode, batch, device, nil)
+}
+
+// EnvG returns the cloud GPU platform profile of the paper's evaluation.
+func EnvG() Platform { return timing.EnvG() }
+
+// EnvC returns the CPU-cluster platform profile of the paper's evaluation.
+func EnvC() Platform { return timing.EnvC() }
+
+// NewTracer returns an empty runtime tracer.
+func NewTracer() *Tracer { return timing.NewTracer() }
+
+// TIC computes the Timing-Independent Communication schedule (Algorithm 2)
+// for a worker partition.
+func TIC(g *Graph) (*Schedule, error) { return core.TIC(g) }
+
+// TAC computes the Timing-Aware Communication schedule (Algorithm 3) for a
+// worker partition under the given time oracle.
+func TAC(g *Graph, oracle Oracle) (*Schedule, error) { return core.TAC(g, oracle) }
+
+// Bounds returns the §3.2 makespan bounds (UMakespan, LMakespan).
+func Bounds(g *Graph, oracle Oracle) (upper, lower float64) { return core.Bounds(g, oracle) }
+
+// Efficiency returns the scheduling-efficiency metric E (equation 3).
+func Efficiency(g *Graph, oracle Oracle, makespan float64) float64 {
+	return core.Efficiency(g, oracle, makespan)
+}
+
+// Speedup returns the theoretical maximum speedup S (equation 4).
+func Speedup(g *Graph, oracle Oracle) float64 { return core.Speedup(g, oracle) }
+
+// Simulate executes a graph once on the discrete-event executor.
+func Simulate(g *Graph, cfg SimConfig) (*SimResult, error) { return sim.Run(g, cfg) }
+
+// BuildCluster assembles a Model-Replica + Parameter-Server execution graph.
+func BuildCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.Build(cfg) }
+
+// ReadGraphJSON deserializes a graph written by Graph.WriteJSON.
+func ReadGraphJSON(r io.Reader) (*Graph, error) { return graph.ReadJSON(r) }
+
+// ReadScheduleJSON deserializes a schedule written by Schedule.WriteJSON.
+func ReadScheduleJSON(r io.Reader) (*Schedule, error) { return core.ReadSchedule(r) }
+
+// ValidateSchedule checks that a schedule covers exactly the partition's
+// transfers with an order consistent with its ranks.
+func ValidateSchedule(g *Graph, s *Schedule) error { return core.ValidateSchedule(g, s) }
+
+// GraphDOT renders a graph in Graphviz DOT format.
+func GraphDOT(g *Graph, title string) string { return graph.DOT(g, title) }

@@ -1,0 +1,109 @@
+package tictac_test
+
+import (
+	"testing"
+
+	"tictac"
+)
+
+// The facade tests exercise the public API end to end the way a downstream
+// user would.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	spec, ok := tictac.ModelByName("ResNet-50 v2")
+	if !ok {
+		t.Fatal("model missing")
+	}
+	c, err := tictac.BuildCluster(tictac.ClusterConfig{
+		Model: spec, Mode: tictac.Training, Workers: 2, PS: 1,
+		Platform: tictac.EnvG(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := c.ComputeSchedule(tictac.AlgoTIC, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run(tictac.Experiment{Warmup: 1, Measure: 3},
+		tictac.RunOptions{Schedule: sched, Seed: 1, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MeanThroughput <= 0 {
+		t.Fatalf("throughput = %v", out.MeanThroughput)
+	}
+}
+
+func TestPublicGraphAndScheduling(t *testing.T) {
+	g := tictac.NewGraph()
+	r1 := g.MustAddOp("recv1", tictac.Recv)
+	r1.Device, r1.Resource, r1.Bytes, r1.Param = "w", "w/net", 100, "recv1"
+	r2 := g.MustAddOp("recv2", tictac.Recv)
+	r2.Device, r2.Resource, r2.Bytes, r2.Param = "w", "w/net", 100, "recv2"
+	c1 := g.MustAddOp("op1", tictac.Compute)
+	c1.Device, c1.Resource, c1.FLOPs = "w", "w/compute", 1e9
+	c2 := g.MustAddOp("op2", tictac.Compute)
+	c2.Device, c2.Resource, c2.FLOPs = "w", "w/compute", 1e8
+	g.MustConnect(r1, c1)
+	g.MustConnect(r1, c2)
+	g.MustConnect(r2, c2)
+
+	tic, err := tictac.TIC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tac, err := tictac.TAC(g, tictac.EnvG().Oracle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tic.Order) != 2 || len(tac.Order) != 2 {
+		t.Fatal("schedules incomplete")
+	}
+	if tac.Order[0] != "recv1" {
+		t.Fatalf("TAC order = %v", tac.Order)
+	}
+
+	res, err := tictac.Simulate(g, tictac.SimConfig{Oracle: tictac.EnvG().Oracle(), Schedule: tac})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, l := tictac.Bounds(g, tictac.EnvG().Oracle())
+	if res.Makespan < l-1e-9 || res.Makespan > u+1e-9 {
+		t.Fatalf("makespan %v outside [%v, %v]", res.Makespan, l, u)
+	}
+	if e := tictac.Efficiency(g, tictac.EnvG().Oracle(), res.Makespan); e < 0 || e > 1 {
+		t.Fatalf("efficiency = %v", e)
+	}
+	if s := tictac.Speedup(g, tictac.EnvG().Oracle()); s < 0 {
+		t.Fatalf("speedup = %v", s)
+	}
+}
+
+func TestPublicModelZoo(t *testing.T) {
+	if len(tictac.Models()) != 10 {
+		t.Fatal("model catalog size")
+	}
+	spec, _ := tictac.ModelByName("VGG-16")
+	g, err := tictac.BuildWorkerGraph(spec, tictac.Inference, spec.Batch, "worker:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != spec.OpsInference {
+		t.Fatalf("ops = %d, want %d", g.Len(), spec.OpsInference)
+	}
+}
+
+func TestPublicTracerFlow(t *testing.T) {
+	tr := tictac.NewTracer()
+	spec, _ := tictac.ModelByName("AlexNet v2")
+	g, _ := tictac.BuildWorkerGraph(spec, tictac.Training, spec.Batch, "worker:0")
+	if _, err := tictac.Simulate(g, tictac.SimConfig{
+		Oracle: tictac.EnvC().Oracle(), Tracer: tr, Jitter: 0.05,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != g.Len() {
+		t.Fatalf("traced %d of %d ops", tr.Len(), g.Len())
+	}
+}
