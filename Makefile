@@ -1,0 +1,32 @@
+# CI and humans invoke the same targets (see .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race gate: the packages with documented concurrency contracts — the real
+# TCP PS runtime, the simulator, the cluster layer and the parallel bench
+# engine (plus the bench experiments that fan out across it).
+race:
+	$(GO) test -race ./internal/psrt/ ./internal/sim/ ./internal/cluster/ ./internal/bench/...
+
+# Benchmark smoke: compile and run every benchmark once, no measurements.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build test bench

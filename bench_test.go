@@ -20,7 +20,7 @@ func quickOpts() bench.Options {
 // BenchmarkTable1Models regenerates Table 1 (model characteristics).
 func BenchmarkTable1Models(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Table1()
+		rows, err := bench.Table1(quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,163 +2,22 @@
 //
 // Usage:
 //
-//	tictac-bench                  # quick scale, every experiment
-//	tictac-bench -full            # paper-scale protocol (slow)
-//	tictac-bench -exp fig7,fig12  # a subset
+//	tictac-bench                    # quick scale, every experiment
+//	tictac-bench -full              # paper-scale protocol (slow)
+//	tictac-bench -exp fig7,fig12    # a subset
+//	tictac-bench -jobs 4            # bound the parallel experiment engine
+//	tictac-bench -json out.json     # machine-readable rows + timings
 //
 // Experiments: table1, uniqueorders, fig7, fig8, fig9, fig10, fig11,
-// fig12, fig13, ablations.
+// fig12, fig13, allreduce, pipeline, ablations.
+//
+// Every experiment fans its independent points out across a worker pool
+// (-jobs, default GOMAXPROCS); results are bit-identical at every pool
+// width. Per-experiment wall-clock timings go to stderr.
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-	"strings"
-
-	"tictac/internal/bench"
-)
+import "os"
 
 func main() {
-	var (
-		expList = flag.String("exp", "all", "comma-separated experiments or 'all'")
-		full    = flag.Bool("full", false, "paper-scale protocol (10 measured iterations, 1000 runs, 500 training iters)")
-		seed    = flag.Int64("seed", 1, "base random seed")
-	)
-	flag.Parse()
-
-	opts := bench.Quick()
-	if *full {
-		opts = bench.Full()
-	}
-	opts.Seed = *seed
-
-	want := map[string]bool{}
-	for _, e := range strings.Split(*expList, ",") {
-		want[strings.TrimSpace(strings.ToLower(e))] = true
-	}
-	all := want["all"]
-	out := os.Stdout
-
-	run := func(name string, fn func() error) {
-		if !all && !want[name] {
-			return
-		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "tictac-bench: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-	}
-
-	run("table1", func() error {
-		rows, err := bench.Table1()
-		if err != nil {
-			return err
-		}
-		bench.WriteTable1(out, rows)
-		return nil
-	})
-	run("uniqueorders", func() error {
-		rows, err := bench.UniqueOrders(opts)
-		if err != nil {
-			return err
-		}
-		bench.WriteUniqueOrders(out, rows)
-		return nil
-	})
-	run("fig7", func() error {
-		rows, err := bench.Fig7ScaleWorkers(opts)
-		if err != nil {
-			return err
-		}
-		bench.WriteSweep(out, "Figure 7: speedup scaling workers (PS:W = 1:4, envG)", rows)
-		return nil
-	})
-	run("fig8", func() error {
-		res, err := bench.Fig8Convergence(opts)
-		if err != nil {
-			return err
-		}
-		bench.WriteFig8(out, res)
-		return nil
-	})
-	run("fig9", func() error {
-		rows, err := bench.Fig9ScalePS(opts)
-		if err != nil {
-			return err
-		}
-		bench.WriteSweep(out, "Figure 9: speedup scaling parameter servers (8 workers, envG)", rows)
-		return nil
-	})
-	run("fig10", func() error {
-		rows, err := bench.Fig10BatchScale(opts)
-		if err != nil {
-			return err
-		}
-		bench.WriteSweep(out, "Figure 10: speedup scaling computational load (4 workers, envG, inference)", rows)
-		return nil
-	})
-	run("fig11", func() error {
-		rows, err := bench.Fig11EfficiencyStraggler(opts)
-		if err != nil {
-			return err
-		}
-		bench.WriteFig11(out, rows)
-		return nil
-	})
-	run("fig12", func() error {
-		res, err := bench.Fig12Regression(opts)
-		if err != nil {
-			return err
-		}
-		bench.WriteFig12(out, res)
-		return nil
-	})
-	run("fig13", func() error {
-		rows, err := bench.Fig13TICvsTAC(opts)
-		if err != nil {
-			return err
-		}
-		bench.WriteFig13(out, rows)
-		return nil
-	})
-	run("allreduce", func() error {
-		rows, err := bench.AllReduceExtension(opts)
-		if err != nil {
-			return err
-		}
-		bench.WriteAllReduce(out, rows)
-		return nil
-	})
-	run("pipeline", func() error {
-		rows, err := bench.PipelineExtension(opts)
-		if err != nil {
-			return err
-		}
-		bench.WritePipeline(out, rows)
-		return nil
-	})
-	run("ablations", func() error {
-		enf, err := bench.AblationEnforcement(opts)
-		if err != nil {
-			return err
-		}
-		orc, err := bench.AblationOracle(opts)
-		if err != nil {
-			return err
-		}
-		reo, err := bench.AblationReorder(opts)
-		if err != nil {
-			return err
-		}
-		net, err := bench.AblationNetworkModel(opts)
-		if err != nil {
-			return err
-		}
-		bench.WriteAblation(out, "Ablation: enforcement location (§5.1)", enf)
-		bench.WriteAblation(out, "Ablation: time-oracle estimator (§5)", orc)
-		bench.WriteAblation(out, "Ablation: RPC reorder-error sensitivity (§5.1)", reo)
-		bench.WriteAblation(out, "Ablation: network model (per-pair channels vs shared PS NIC)", net)
-		return nil
-	})
+	os.Exit(appMain(os.Args[1:], os.Stdout, os.Stderr))
 }

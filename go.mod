@@ -1,0 +1,3 @@
+module tictac
+
+go 1.24

@@ -3,6 +3,7 @@ package bench
 import (
 	"io"
 
+	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
 	"tictac/internal/core"
 	"tictac/internal/model"
@@ -37,31 +38,38 @@ func AblationEnforcement(o Options) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, err := c.Run(o.experiment(), cluster.RunOptions{Seed: o.Seed, Jitter: -1})
+	// The baseline and sender-gated runs share the read-only cluster and
+	// schedule; run them as two engine points.
+	runSeeds := []struct {
+		sched *core.Schedule
+		seed  int64
+	}{{nil, o.Seed}, {sched, o.Seed + 1}}
+	outs, err := engine.Map(o.jobs(), len(runSeeds), func(i int) (*cluster.Outcome, error) {
+		return c.Run(o.experiment(), cluster.RunOptions{Schedule: runSeeds[i].sched, Seed: runSeeds[i].seed, Jitter: -1})
+	})
 	if err != nil {
 		return nil, err
 	}
-	sender, err := c.Run(o.experiment(), cluster.RunOptions{Schedule: sched, Seed: o.Seed + 1, Jitter: -1})
-	if err != nil {
-		return nil, err
-	}
+	base, sender := outs[0], outs[1]
 	// DAG chaining: the order is enforced by extra edges, not priorities.
 	chained, err := c.ChainRecvsByOrder(sched.Order)
 	if err != nil {
 		return nil, err
 	}
 	batch := spec.Batch
-	var chainTputs []float64
-	for i := 0; i < o.Measure; i++ {
+	chainTputs, err := engine.Map(o.jobs(), o.Measure, func(i int) (float64, error) {
 		res, err := sim.Run(chained, sim.Config{
 			Oracle: cfg.Platform.Oracle(),
 			Seed:   o.Seed + int64(i)*31,
 			Jitter: cfg.Platform.Jitter,
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		chainTputs = append(chainTputs, float64(batch*cfg.Workers)/res.Makespan)
+		return float64(batch*cfg.Workers) / res.Makespan, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	chainTput := stats.Mean(chainTputs)
 	return []AblationRow{
@@ -88,29 +96,38 @@ func AblationOracle(o Options) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := []AblationRow{
-		{Study: "oracle", Variant: "baseline", Tput: base.MeanThroughput, Efficiency: base.MeanEfficiency},
+	// The three estimator kinds reduce the SAME trace (identical seeds would
+	// reproduce identical samples anyway), so trace once and let each
+	// variant derive its reduction, schedule and measurement from it on the
+	// shared read-only cluster. Tracer is concurrency-safe.
+	tracer, err := c.TraceRuns(5, o.Seed)
+	if err != nil {
+		return nil, err
 	}
-	for _, kind := range []timing.EstimateKind{timing.EstimateMin, timing.EstimateMean, timing.EstimateLast} {
-		oracle, err := c.TraceOracle(5, o.Seed, kind)
-		if err != nil {
-			return nil, err
-		}
+	kinds := []timing.EstimateKind{timing.EstimateMin, timing.EstimateMean, timing.EstimateLast}
+	variants, err := engine.Map(o.jobs(), len(kinds), func(i int) (AblationRow, error) {
+		kind := kinds[i]
+		oracle := c.OracleFromTrace(tracer, kind)
 		sched, err := core.TAC(c.ReferenceWorker(), oracle)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		out, err := c.Run(o.experiment(), cluster.RunOptions{Schedule: sched, Seed: o.Seed + 17, Jitter: -1})
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Study: "oracle", Variant: "tac-" + kind.String(),
 			Tput: out.MeanThroughput, Efficiency: out.MeanEfficiency,
 			SpeedupPct: speedupPct(base.MeanThroughput, out.MeanThroughput),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return append([]AblationRow{
+		{Study: "oracle", Variant: "baseline", Tput: base.MeanThroughput, Efficiency: base.MeanEfficiency},
+	}, variants...), nil
 }
 
 // AblationReorder measures the sensitivity of TIC to RPC-level priority
@@ -132,23 +149,28 @@ func AblationReorder(o Options) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := []AblationRow{
-		{Study: "reorder", Variant: "baseline", Tput: base.MeanThroughput, Efficiency: base.MeanEfficiency},
-	}
-	for _, prob := range []float64{0, 0.005, 0.05, 0.2} {
+	// The inversion probabilities are independent points sharing the
+	// read-only cluster and the concurrency-safe schedule.
+	probs := []float64{0, 0.005, 0.05, 0.2}
+	variants, err := engine.Map(o.jobs(), len(probs), func(i int) (AblationRow, error) {
 		out, err := c.Run(o.experiment(), cluster.RunOptions{
-			Schedule: sched, Seed: o.Seed + 29, Jitter: -1, ReorderProb: prob,
+			Schedule: sched, Seed: o.Seed + 29, Jitter: -1, ReorderProb: probs[i],
 		})
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rows = append(rows, AblationRow{
-			Study: "reorder", Variant: "tic-p" + f3(prob),
+		return AblationRow{
+			Study: "reorder", Variant: "tic-p" + f3(probs[i]),
 			Tput: out.MeanThroughput, Efficiency: out.MeanEfficiency,
 			SpeedupPct: speedupPct(base.MeanThroughput, out.MeanThroughput),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return append([]AblationRow{
+		{Study: "reorder", Variant: "baseline", Tput: base.MeanThroughput, Efficiency: base.MeanEfficiency},
+	}, variants...), nil
 }
 
 // AblationNetworkModel compares the two network extremes: one serialized
@@ -159,8 +181,9 @@ func AblationReorder(o Options) ([]AblationRow, error) {
 func AblationNetworkModel(o Options) ([]AblationRow, error) {
 	o = o.withDefaults()
 	spec, _ := model.ByName("ResNet-50 v2")
-	var rows []AblationRow
-	for _, shared := range []bool{false, true} {
+	modes := []bool{false, true}
+	return engine.FlatMap(o.jobs(), len(modes), func(i int) ([]AblationRow, error) {
+		shared := modes[i]
 		cfg := cluster.Config{
 			Model: spec, Mode: model.Training,
 			Workers: 8, PS: 2, Platform: timing.EnvC(),
@@ -174,13 +197,12 @@ func AblationNetworkModel(o Options) ([]AblationRow, error) {
 		if shared {
 			label = "shared-ps-nic"
 		}
-		rows = append(rows,
-			AblationRow{Study: "network", Variant: label + "/base", Tput: base.MeanThroughput, Efficiency: base.MeanEfficiency},
-			AblationRow{Study: "network", Variant: label + "/tic", Tput: tic.MeanThroughput, Efficiency: tic.MeanEfficiency,
+		return []AblationRow{
+			{Study: "network", Variant: label + "/base", Tput: base.MeanThroughput, Efficiency: base.MeanEfficiency},
+			{Study: "network", Variant: label + "/tic", Tput: tic.MeanThroughput, Efficiency: tic.MeanEfficiency,
 				SpeedupPct: speedupPct(base.MeanThroughput, tic.MeanThroughput)},
-		)
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // WriteAblation renders ablation rows as text.

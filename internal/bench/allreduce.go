@@ -3,6 +3,7 @@ package bench
 import (
 	"io"
 
+	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
 	"tictac/internal/collective"
 	"tictac/internal/core"
@@ -33,56 +34,63 @@ func AllReduceExtension(o Options) ([]AllReduceRow, error) {
 	if names == nil {
 		names = []string{"ResNet-50 v2", "VGG-16", "Inception v3"}
 	}
-	var rows []AllReduceRow
+	type point struct {
+		spec    model.Spec
+		workers int
+	}
+	var points []point
 	for _, name := range names {
 		spec, ok := model.ByName(name)
 		if !ok {
 			continue
 		}
 		for _, workers := range []int{4, 8} {
-			ps := workers / 4
-			if ps < 1 {
-				ps = 1
-			}
-			psCfg := cluster.Config{
-				Model: spec, Mode: model.Training,
-				Workers: workers, PS: ps, Platform: timing.EnvG(),
-			}
-			psBase, psTic, _, err := runPair(psCfg, core.AlgoTIC, o)
-			if err != nil {
-				return nil, err
-			}
-
-			ring, err := collective.Build(collective.Config{
-				Model: spec, Workers: workers, Platform: timing.EnvG(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			launch, err := ring.LaunchSchedule()
-			if err != nil {
-				return nil, err
-			}
-			arBase, err := ringThroughput(ring, nil, o)
-			if err != nil {
-				return nil, err
-			}
-			arOrdered, err := ringThroughput(ring, launch, o)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AllReduceRow{
-				Model:        spec.Name,
-				Workers:      workers,
-				PSBase:       psBase.MeanThroughput,
-				PSTic:        psTic.MeanThroughput,
-				ARBase:       arBase,
-				AROrdered:    arOrdered,
-				ARSpeedupPct: speedupPct(arBase, arOrdered),
-			})
+			points = append(points, point{spec, workers})
 		}
 	}
-	return rows, nil
+	return engine.Map(o.jobs(), len(points), func(i int) (AllReduceRow, error) {
+		p := points[i]
+		ps := p.workers / 4
+		if ps < 1 {
+			ps = 1
+		}
+		psCfg := cluster.Config{
+			Model: p.spec, Mode: model.Training,
+			Workers: p.workers, PS: ps, Platform: timing.EnvG(),
+		}
+		psBase, psTic, _, err := runPair(psCfg, core.AlgoTIC, o)
+		if err != nil {
+			return AllReduceRow{}, err
+		}
+
+		ring, err := collective.Build(collective.Config{
+			Model: p.spec, Workers: p.workers, Platform: timing.EnvG(),
+		})
+		if err != nil {
+			return AllReduceRow{}, err
+		}
+		launch, err := ring.LaunchSchedule()
+		if err != nil {
+			return AllReduceRow{}, err
+		}
+		arBase, err := ringThroughput(ring, nil, o)
+		if err != nil {
+			return AllReduceRow{}, err
+		}
+		arOrdered, err := ringThroughput(ring, launch, o)
+		if err != nil {
+			return AllReduceRow{}, err
+		}
+		return AllReduceRow{
+			Model:        p.spec.Name,
+			Workers:      p.workers,
+			PSBase:       psBase.MeanThroughput,
+			PSTic:        psTic.MeanThroughput,
+			ARBase:       arBase,
+			AROrdered:    arOrdered,
+			ARSpeedupPct: speedupPct(arBase, arOrdered),
+		}, nil
+	})
 }
 
 func ringThroughput(ring *collective.Ring, sched *core.Schedule, o Options) (float64, error) {

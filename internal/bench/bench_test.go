@@ -13,7 +13,7 @@ func quick() Options {
 }
 
 func TestTable1MatchesPaper(t *testing.T) {
-	rows, err := Table1()
+	rows, err := Table1(quick())
 	if err != nil {
 		t.Fatal(err)
 	}

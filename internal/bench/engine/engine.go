@@ -1,0 +1,138 @@
+// Package engine is the concurrent experiment runner behind internal/bench.
+//
+// Every experiment is expressed as a flat list of independent points (model ×
+// mode × workers × PS × batch-factor × algorithm × run index). The engine
+// fans the points out across a bounded pool of goroutines and reassembles the
+// results in canonical point order, so parallel output is bit-identical to a
+// sequential run: each point derives all of its randomness from its own index
+// and the experiment's base seed, never from execution order.
+//
+// Point functions must be self-contained: build their own cluster, compute
+// their own schedule, and only read shared inputs (model.Spec,
+// timing.Platform and core.Schedule values are documented immutable /
+// concurrency-safe). go test -race ./internal/bench/... enforces this.
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultJobs returns the default worker-pool width: GOMAXPROCS, the number
+// of CPUs the Go runtime will actually schedule on.
+func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
+
+// clampJobs normalizes a jobs request against the point count.
+func clampJobs(jobs, n int) int {
+	if jobs <= 0 {
+		jobs = DefaultJobs()
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	return jobs
+}
+
+// Map runs f(i) for every point index in [0, n) on a pool of jobs
+// goroutines (jobs <= 0 means DefaultJobs) and returns the results in index
+// order. If any point fails, Map returns the error of the lowest-index
+// failing point — the same error a sequential loop would surface first —
+// and stops handing out further points.
+func Map[T any](jobs, n int, f func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	jobs = clampJobs(jobs, n)
+	if jobs == 1 {
+		// Plain loop: zero goroutine overhead, and the reference semantics
+		// the parallel path must reproduce bit-for-bit.
+		out := make([]T, n)
+		for i := 0; i < n; i++ {
+			v, err := f(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	out := make([]T, n)
+	errs := make([]error, n)
+	var (
+		mu       sync.Mutex
+		next     int
+		firstErr = n // lowest failing index seen so far
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n || firstErr < n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(i int) {
+		mu.Lock()
+		if i < firstErr {
+			firstErr = i
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				v, err := f(i)
+				if err != nil {
+					errs[i] = err
+					fail(i)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Sequential-equivalent error: the lowest failing index. Points below
+	// it all completed (they were claimed before it), so a sequential loop
+	// would have reached and reported exactly this error.
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return out, nil
+}
+
+// FlatMap runs f(i) for every index in [0, n) like Map and concatenates the
+// per-point result slices in index order. It is the fan-out shape for
+// experiments whose points each yield several rows.
+func FlatMap[T any](jobs, n int, f func(i int) ([]T, error)) ([]T, error) {
+	chunks, err := Map(jobs, n, f)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]T, 0, total)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out, nil
+}

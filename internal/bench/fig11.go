@@ -3,6 +3,7 @@ package bench
 import (
 	"io"
 
+	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
 	"tictac/internal/core"
 	"tictac/internal/model"
@@ -27,33 +28,39 @@ type Fig11Row struct {
 // 1 PS, with and without TIC.
 func Fig11EfficiencyStraggler(o Options) ([]Fig11Row, error) {
 	o = o.withDefaults()
-	specs := sweepModels(o)
-	var rows []Fig11Row
-	for _, spec := range specs {
+	type point struct {
+		spec model.Spec
+		mode model.Mode
+	}
+	var points []point
+	for _, spec := range sweepModels(o) {
 		for _, mode := range []model.Mode{model.Inference, model.Training} {
-			cfg := cluster.Config{
-				Model:    spec,
-				Mode:     mode,
-				Workers:  4,
-				PS:       1,
-				Platform: timing.EnvG(),
-			}
-			base, tic, _, err := runPair(cfg, core.AlgoTIC, o)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig11Row{
-				Model:            spec.Name,
-				Task:             mode.String(),
-				OpsPerWorker:     spec.Ops(mode),
-				BaseEfficiency:   base.MeanEfficiency,
-				TicEfficiency:    tic.MeanEfficiency,
-				BaseStragglerPct: base.MaxStragglerPct,
-				TicStragglerPct:  tic.MaxStragglerPct,
-			})
+			points = append(points, point{spec, mode})
 		}
 	}
-	return rows, nil
+	return engine.Map(o.jobs(), len(points), func(i int) (Fig11Row, error) {
+		p := points[i]
+		cfg := cluster.Config{
+			Model:    p.spec,
+			Mode:     p.mode,
+			Workers:  4,
+			PS:       1,
+			Platform: timing.EnvG(),
+		}
+		base, tic, _, err := runPair(cfg, core.AlgoTIC, o)
+		if err != nil {
+			return Fig11Row{}, err
+		}
+		return Fig11Row{
+			Model:            p.spec.Name,
+			Task:             p.mode.String(),
+			OpsPerWorker:     p.spec.Ops(p.mode),
+			BaseEfficiency:   base.MeanEfficiency,
+			TicEfficiency:    tic.MeanEfficiency,
+			BaseStragglerPct: base.MaxStragglerPct,
+			TicStragglerPct:  tic.MaxStragglerPct,
+		}, nil
+	})
 }
 
 // WriteFig11 renders the rows as text.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
 	"tictac/internal/core"
 	"tictac/internal/model"
@@ -53,20 +54,36 @@ func Fig12Regression(o Options) (*Fig12Result, error) {
 		return nil, err
 	}
 	res := &Fig12Result{}
-	var rawNone, rawTAC []float64
-	for i := 0; i < o.Runs; i++ {
+	// Each run is one engine point sharing the read-only cluster and the
+	// (concurrency-safe) TAC schedule; per-run seeds derive from the run
+	// index, so any pool width reproduces the sequential sample streams.
+	type runSample struct {
+		effNone, effTAC float64
+		rawNone, rawTAC float64
+	}
+	samples, err := engine.Map(o.jobs(), o.Runs, func(i int) (runSample, error) {
 		itNone, err := c.RunIteration(cluster.RunOptions{Seed: o.Seed + int64(i)*13, Jitter: -1})
 		if err != nil {
-			return nil, err
+			return runSample{}, err
 		}
 		itTAC, err := c.RunIteration(cluster.RunOptions{Schedule: sched, Seed: o.Seed + int64(i)*13 + 7, Jitter: -1})
 		if err != nil {
-			return nil, err
+			return runSample{}, err
 		}
-		res.EffNone = append(res.EffNone, itNone.Efficiency)
-		res.EffTAC = append(res.EffTAC, itTAC.Efficiency)
-		rawNone = append(rawNone, itNone.Makespan)
-		rawTAC = append(rawTAC, itTAC.Makespan)
+		return runSample{
+			effNone: itNone.Efficiency, effTAC: itTAC.Efficiency,
+			rawNone: itNone.Makespan, rawTAC: itTAC.Makespan,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rawNone, rawTAC []float64
+	for _, s := range samples {
+		res.EffNone = append(res.EffNone, s.effNone)
+		res.EffTAC = append(res.EffTAC, s.effTAC)
+		rawNone = append(rawNone, s.rawNone)
+		rawTAC = append(rawTAC, s.rawTAC)
 	}
 	// Normalized step time: fastest observed step across both methods
 	// divided by the run's step, in (0, 1]; 1 = as fast as the best run.

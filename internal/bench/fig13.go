@@ -3,6 +3,7 @@ package bench
 import (
 	"io"
 
+	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
 	"tictac/internal/core"
 	"tictac/internal/model"
@@ -28,49 +29,56 @@ func Fig13TICvsTAC(o Options) ([]Fig13Row, error) {
 	if names == nil {
 		names = []string{"Inception v2", "VGG-16", "AlexNet v2"}
 	}
-	var rows []Fig13Row
+	type point struct {
+		spec model.Spec
+		mode model.Mode
+	}
+	var points []point
 	for _, name := range names {
 		spec, ok := model.ByName(name)
 		if !ok {
 			continue
 		}
 		for _, mode := range []model.Mode{model.Inference, model.Training} {
-			cfg := cluster.Config{
-				Model:    spec,
-				Mode:     mode,
-				Workers:  4,
-				PS:       1,
-				Platform: timing.EnvC(),
-			}
-			c, err := cluster.Build(cfg)
-			if err != nil {
-				return nil, err
-			}
-			base, err := c.Run(o.experiment(), cluster.RunOptions{Seed: o.Seed, Jitter: -1})
-			if err != nil {
-				return nil, err
-			}
-			row := Fig13Row{Model: spec.Name, Task: mode.String()}
-			for _, algo := range []core.Algorithm{core.AlgoTIC, core.AlgoTAC} {
-				sched, err := c.ComputeSchedule(algo, 5, o.Seed)
-				if err != nil {
-					return nil, err
-				}
-				out, err := c.Run(o.experiment(), cluster.RunOptions{Schedule: sched, Seed: o.Seed + 999, Jitter: -1})
-				if err != nil {
-					return nil, err
-				}
-				pct := speedupPct(base.MeanThroughput, out.MeanThroughput)
-				if algo == core.AlgoTIC {
-					row.TicSpeedupPct = pct
-				} else {
-					row.TacSpeedupPct = pct
-				}
-			}
-			rows = append(rows, row)
+			points = append(points, point{spec, mode})
 		}
 	}
-	return rows, nil
+	return engine.Map(o.jobs(), len(points), func(i int) (Fig13Row, error) {
+		p := points[i]
+		cfg := cluster.Config{
+			Model:    p.spec,
+			Mode:     p.mode,
+			Workers:  4,
+			PS:       1,
+			Platform: timing.EnvC(),
+		}
+		c, err := cluster.Build(cfg)
+		if err != nil {
+			return Fig13Row{}, err
+		}
+		base, err := c.Run(o.experiment(), cluster.RunOptions{Seed: o.Seed, Jitter: -1})
+		if err != nil {
+			return Fig13Row{}, err
+		}
+		row := Fig13Row{Model: p.spec.Name, Task: p.mode.String()}
+		for _, algo := range []core.Algorithm{core.AlgoTIC, core.AlgoTAC} {
+			sched, err := c.ComputeSchedule(algo, 5, o.Seed)
+			if err != nil {
+				return Fig13Row{}, err
+			}
+			out, err := c.Run(o.experiment(), cluster.RunOptions{Schedule: sched, Seed: o.Seed + 999, Jitter: -1})
+			if err != nil {
+				return Fig13Row{}, err
+			}
+			pct := speedupPct(base.MeanThroughput, out.MeanThroughput)
+			if algo == core.AlgoTIC {
+				row.TicSpeedupPct = pct
+			} else {
+				row.TacSpeedupPct = pct
+			}
+		}
+		return row, nil
+	})
 }
 
 // WriteFig13 renders the rows as text.

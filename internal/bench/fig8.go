@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 
+	"tictac/internal/bench/engine"
 	"tictac/internal/core"
 	"tictac/internal/data"
 	"tictac/internal/train"
@@ -46,15 +47,24 @@ func Fig8Convergence(o Options) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// workers must stay at 2: the PS folds gradients in network-arrival
+	// order, and with exactly two workers each accumulator sums two float32
+	// values from zero — a commutative operation — so the loss curves are
+	// arrival-order-independent. Three or more workers would make the
+	// accumulation order-sensitive (float addition is not associative) and
+	// break the run-to-run determinism this experiment asserts.
 	const workers, batch = 2, 32
-	base, err := train.TrainParallel(ds, cfg, workers, o.TrainIters, batch, nil)
+	// The two training runs (no ordering, TIC) are independent points: each
+	// spins up its own TCP PS runtime on a kernel-assigned port, so they
+	// parallelize cleanly.
+	schedules := []*core.Schedule{nil, sched}
+	runs, err := engine.Map(o.jobs(), len(schedules), func(i int) (*train.ParallelResult, error) {
+		return train.TrainParallel(ds, cfg, workers, o.TrainIters, batch, schedules[i])
+	})
 	if err != nil {
 		return nil, err
 	}
-	tic, err := train.TrainParallel(ds, cfg, workers, o.TrainIters, batch, sched)
-	if err != nil {
-		return nil, err
-	}
+	base, tic := runs[0], runs[1]
 	res := &Fig8Result{}
 	for i := range base.Losses {
 		res.Rows = append(res.Rows, Fig8Row{Iter: i, LossNone: base.Losses[i], LossTIC: tic.Losses[i]})

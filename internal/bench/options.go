@@ -11,6 +11,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
 	"tictac/internal/core"
 	"tictac/internal/model"
@@ -33,6 +34,11 @@ type Options struct {
 	Models []string
 	// Seed is the base RNG seed.
 	Seed int64
+	// Jobs bounds the experiment engine's worker pool. Zero means
+	// engine.DefaultJobs() (GOMAXPROCS); 1 forces sequential execution.
+	// Results are bit-identical for every value: each point derives its
+	// randomness from Seed and its own index, never from execution order.
+	Jobs int
 }
 
 // Full reproduces the paper's measurement protocol.
@@ -67,6 +73,14 @@ func (o Options) withDefaults() Options {
 
 func (o Options) experiment() cluster.Experiment {
 	return cluster.Experiment{Warmup: o.Warmup, Measure: o.Measure}
+}
+
+// jobs resolves the engine pool width for this options value.
+func (o Options) jobs() int {
+	if o.Jobs <= 0 {
+		return engine.DefaultJobs()
+	}
+	return o.Jobs
 }
 
 // sweepModels is the nine-model set of Figures 7, 9 and 10 (the paper's

@@ -3,6 +3,7 @@ package bench
 import (
 	"io"
 
+	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
 	"tictac/internal/core"
 	"tictac/internal/model"
@@ -31,32 +32,39 @@ func PipelineExtension(o Options) ([]PipelineRow, error) {
 	if names == nil {
 		names = []string{"ResNet-50 v2", "VGG-16"}
 	}
-	var rows []PipelineRow
+	type point struct {
+		spec  model.Spec
+		iters int
+	}
+	var points []point
 	for _, name := range names {
 		spec, ok := model.ByName(name)
 		if !ok {
 			continue
 		}
 		for _, iters := range []int{1, 3} {
-			cfg := cluster.Config{
-				Model: spec, Mode: model.Training,
-				Workers: 4, PS: 1, Platform: timing.EnvG(),
-				Iterations: iters,
-			}
-			base, tic, _, err := runPair(cfg, core.AlgoTIC, o)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, PipelineRow{
-				Model:      spec.Name,
-				Iterations: iters,
-				BaseTput:   base.MeanThroughput,
-				TicTput:    tic.MeanThroughput,
-				SpeedupPct: speedupPct(base.MeanThroughput, tic.MeanThroughput),
-			})
+			points = append(points, point{spec, iters})
 		}
 	}
-	return rows, nil
+	return engine.Map(o.jobs(), len(points), func(i int) (PipelineRow, error) {
+		p := points[i]
+		cfg := cluster.Config{
+			Model: p.spec, Mode: model.Training,
+			Workers: 4, PS: 1, Platform: timing.EnvG(),
+			Iterations: p.iters,
+		}
+		base, tic, _, err := runPair(cfg, core.AlgoTIC, o)
+		if err != nil {
+			return PipelineRow{}, err
+		}
+		return PipelineRow{
+			Model:      p.spec.Name,
+			Iterations: p.iters,
+			BaseTput:   base.MeanThroughput,
+			TicTput:    tic.MeanThroughput,
+			SpeedupPct: speedupPct(base.MeanThroughput, tic.MeanThroughput),
+		}, nil
+	})
 }
 
 // WritePipeline renders the rows as text.

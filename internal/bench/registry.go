@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Experiment is one registry entry: a named driver that runs an experiment,
+// renders its text tables to w, and returns the typed rows for
+// machine-readable output.
+type Experiment struct {
+	// Name is the CLI selector (e.g. "fig7", "ablations").
+	Name string
+	// Run executes the experiment at the given scale, writes the text
+	// rendering to w, and returns the typed rows (a slice or struct that
+	// marshals cleanly to JSON).
+	Run func(o Options, w io.Writer) (any, error)
+}
+
+// Experiments returns the full registry in the paper's presentation order.
+// The slice is freshly allocated; callers may filter it freely.
+func Experiments() []Experiment {
+	return []Experiment{
+		{Name: "table1", Run: func(o Options, w io.Writer) (any, error) {
+			rows, err := Table1(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteTable1(w, rows)
+			return rows, nil
+		}},
+		{Name: "uniqueorders", Run: func(o Options, w io.Writer) (any, error) {
+			rows, err := UniqueOrders(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteUniqueOrders(w, rows)
+			return rows, nil
+		}},
+		{Name: "fig7", Run: func(o Options, w io.Writer) (any, error) {
+			rows, err := Fig7ScaleWorkers(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteSweep(w, "Figure 7: speedup scaling workers (PS:W = 1:4, envG)", rows)
+			return rows, nil
+		}},
+		{Name: "fig8", Run: func(o Options, w io.Writer) (any, error) {
+			res, err := Fig8Convergence(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteFig8(w, res)
+			return res, nil
+		}},
+		{Name: "fig9", Run: func(o Options, w io.Writer) (any, error) {
+			rows, err := Fig9ScalePS(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteSweep(w, "Figure 9: speedup scaling parameter servers (8 workers, envG)", rows)
+			return rows, nil
+		}},
+		{Name: "fig10", Run: func(o Options, w io.Writer) (any, error) {
+			rows, err := Fig10BatchScale(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteSweep(w, "Figure 10: speedup scaling computational load (4 workers, envG, inference)", rows)
+			return rows, nil
+		}},
+		{Name: "fig11", Run: func(o Options, w io.Writer) (any, error) {
+			rows, err := Fig11EfficiencyStraggler(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteFig11(w, rows)
+			return rows, nil
+		}},
+		{Name: "fig12", Run: func(o Options, w io.Writer) (any, error) {
+			res, err := Fig12Regression(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteFig12(w, res)
+			return res, nil
+		}},
+		{Name: "fig13", Run: func(o Options, w io.Writer) (any, error) {
+			rows, err := Fig13TICvsTAC(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteFig13(w, rows)
+			return rows, nil
+		}},
+		{Name: "allreduce", Run: func(o Options, w io.Writer) (any, error) {
+			rows, err := AllReduceExtension(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteAllReduce(w, rows)
+			return rows, nil
+		}},
+		{Name: "pipeline", Run: func(o Options, w io.Writer) (any, error) {
+			rows, err := PipelineExtension(o)
+			if err != nil {
+				return nil, err
+			}
+			WritePipeline(w, rows)
+			return rows, nil
+		}},
+		{Name: "ablations", Run: func(o Options, w io.Writer) (any, error) {
+			type study struct {
+				title string
+				run   func(Options) ([]AblationRow, error)
+			}
+			studies := []study{
+				{"Ablation: enforcement location (§5.1)", AblationEnforcement},
+				{"Ablation: time-oracle estimator (§5)", AblationOracle},
+				{"Ablation: RPC reorder-error sensitivity (§5.1)", AblationReorder},
+				{"Ablation: network model (per-pair channels vs shared PS NIC)", AblationNetworkModel},
+			}
+			var all []AblationRow
+			for _, s := range studies {
+				rows, err := s.run(o)
+				if err != nil {
+					return nil, err
+				}
+				WriteAblation(w, s.title, rows)
+				all = append(all, rows...)
+			}
+			return all, nil
+		}},
+	}
+}
+
+// ExperimentNames returns the registry's selector names in order.
+func ExperimentNames() []string {
+	exps := Experiments()
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// SelectExperiments resolves a comma-separated selector list ("all", or a
+// subset like "fig7,fig12") against the registry, preserving registry order
+// and rejecting unknown names.
+func SelectExperiments(list string) ([]Experiment, error) {
+	all := Experiments()
+	want := map[string]bool{}
+	for _, e := range strings.Split(list, ",") {
+		name := strings.TrimSpace(strings.ToLower(e))
+		if name != "" {
+			want[name] = true
+		}
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("bench: empty experiment list")
+	}
+	if want["all"] {
+		delete(want, "all")
+		if len(want) > 0 {
+			return nil, fmt.Errorf("bench: %q mixes 'all' with explicit names", list)
+		}
+		return all, nil
+	}
+	var picked []Experiment
+	for _, e := range all {
+		if want[e.Name] {
+			picked = append(picked, e)
+			delete(want, e.Name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("bench: unknown experiment(s) %s (known: %s)",
+			strings.Join(unknown, ", "), strings.Join(ExperimentNames(), ", "))
+	}
+	return picked, nil
+}

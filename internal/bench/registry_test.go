@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExperimentNamesStable(t *testing.T) {
+	want := []string{
+		"table1", "uniqueorders", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "allreduce", "pipeline", "ablations",
+	}
+	got := ExperimentNames()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := SelectExperiments("all")
+	if err != nil || len(all) != 12 {
+		t.Fatalf("all: %d, %v", len(all), err)
+	}
+	sub, err := SelectExperiments(" fig12 ,fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].Name != "fig7" || sub[1].Name != "fig12" {
+		t.Fatalf("subset = %+v", sub)
+	}
+	if _, err := SelectExperiments("fig7,bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := SelectExperiments(""); err == nil {
+		t.Fatal("want error for empty list")
+	}
+	if _, err := SelectExperiments("all,fig7"); err == nil {
+		t.Fatal("want error for all+explicit mix")
+	}
+}
+
+func TestRegistryRunRendersAndReturnsRows(t *testing.T) {
+	exps, err := SelectExperiments("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rows, err := exps[0].Run(quick(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatal("text rendering missing")
+	}
+	typed, ok := rows.([]Table1Row)
+	if !ok || len(typed) != 10 {
+		t.Fatalf("rows = %T (%v)", rows, rows)
+	}
+}

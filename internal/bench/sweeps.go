@@ -3,6 +3,7 @@ package bench
 import (
 	"io"
 
+	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
 	"tictac/internal/core"
 	"tictac/internal/model"
@@ -23,11 +24,29 @@ type SweepRow struct {
 	SpeedupPct  float64
 }
 
+// sweepSpec is one independent point of a throughput sweep.
+type sweepSpec struct {
+	spec    model.Spec
+	mode    model.Mode
+	workers int
+	ps      int
+	factor  float64
+}
+
+// runSweep fans a flat point list out across the engine, reassembling rows
+// in canonical (declaration) order.
+func runSweep(points []sweepSpec, o Options) ([]SweepRow, error) {
+	return engine.Map(o.jobs(), len(points), func(i int) (SweepRow, error) {
+		p := points[i]
+		return sweepPoint(p.spec, p.mode, p.workers, p.ps, p.factor, o)
+	})
+}
+
 // Fig7ScaleWorkers sweeps the worker count 1..16 with PS:workers fixed at
 // 1:4 on envG (Figure 7), for training and inference, TIC vs baseline.
 func Fig7ScaleWorkers(o Options) ([]SweepRow, error) {
 	o = o.withDefaults()
-	var rows []SweepRow
+	var points []sweepSpec
 	for _, spec := range sweepModels(o) {
 		for _, workers := range []int{1, 2, 4, 8, 16} {
 			ps := workers / 4
@@ -35,51 +54,39 @@ func Fig7ScaleWorkers(o Options) ([]SweepRow, error) {
 				ps = 1
 			}
 			for _, mode := range []model.Mode{model.Inference, model.Training} {
-				row, err := sweepPoint(spec, mode, workers, ps, 1, o)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, row)
+				points = append(points, sweepSpec{spec: spec, mode: mode, workers: workers, ps: ps, factor: 1})
 			}
 		}
 	}
-	return rows, nil
+	return runSweep(points, o)
 }
 
 // Fig9ScalePS sweeps the PS count {1, 2, 4} with 8 workers on envG
 // (Figure 9).
 func Fig9ScalePS(o Options) ([]SweepRow, error) {
 	o = o.withDefaults()
-	var rows []SweepRow
+	var points []sweepSpec
 	for _, spec := range sweepModels(o) {
 		for _, ps := range []int{1, 2, 4} {
 			for _, mode := range []model.Mode{model.Inference, model.Training} {
-				row, err := sweepPoint(spec, mode, 8, ps, 1, o)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, row)
+				points = append(points, sweepSpec{spec: spec, mode: mode, workers: 8, ps: ps, factor: 1})
 			}
 		}
 	}
-	return rows, nil
+	return runSweep(points, o)
 }
 
 // Fig10BatchScale sweeps the batch factor {0.5, 1, 2} with 4 workers on
 // envG in inference mode (Figure 10).
 func Fig10BatchScale(o Options) ([]SweepRow, error) {
 	o = o.withDefaults()
-	var rows []SweepRow
+	var points []sweepSpec
 	for _, spec := range sweepModels(o) {
 		for _, factor := range []float64{0.5, 1, 2} {
-			row, err := sweepPoint(spec, model.Inference, 4, 1, factor, o)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+			points = append(points, sweepSpec{spec: spec, mode: model.Inference, workers: 4, ps: 1, factor: factor})
 		}
 	}
-	return rows, nil
+	return runSweep(points, o)
 }
 
 func sweepPoint(spec model.Spec, mode model.Mode, workers, ps int, factor float64, o Options) (SweepRow, error) {

@@ -3,6 +3,7 @@ package bench
 import (
 	"io"
 
+	"tictac/internal/bench/engine"
 	"tictac/internal/model"
 )
 
@@ -20,29 +21,29 @@ type Table1Row struct {
 }
 
 // Table1 rebuilds every catalog model in both modes and reports the
-// measured characteristics.
-func Table1() ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, spec := range model.Catalog() {
+// measured characteristics, one engine point per model.
+func Table1(o Options) ([]Table1Row, error) {
+	specs := model.Catalog()
+	return engine.Map(o.jobs(), len(specs), func(i int) (Table1Row, error) {
+		spec := specs[i]
 		tensors := spec.ParamTensors()
 		inf, err := model.BuildWorker(spec, model.Inference, spec.Batch, "worker:0", nil)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		trn, err := model.BuildWorker(spec, model.Training, spec.Batch, "worker:0", nil)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Model:        spec.Name,
 			Params:       len(tensors),
 			TotalMiB:     float64(model.TotalBytes(tensors)) / (1 << 20),
 			OpsInference: inf.Len(),
 			OpsTraining:  trn.Len(),
 			Batch:        spec.Batch,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // WriteTable1 renders the rows as text.

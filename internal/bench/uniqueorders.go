@@ -3,6 +3,7 @@ package bench
 import (
 	"io"
 
+	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
 	"tictac/internal/model"
 	"tictac/internal/timing"
@@ -44,17 +45,26 @@ func UniqueOrders(o Options) ([]UniqueOrdersRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		orders := make(map[string]bool)
-		for i := 0; i < o.Runs; i++ {
+		// Runs are independent points sharing the read-only cluster; each
+		// derives its seed from its own index, so the key list — and the
+		// unique count — is identical at any pool width.
+		keys, err := engine.Map(o.jobs(), o.Runs, func(i int) (string, error) {
 			it, err := c.RunIteration(cluster.RunOptions{Seed: o.Seed + int64(i)*101, Jitter: -1})
 			if err != nil {
-				return nil, err
+				return "", err
 			}
 			key := ""
 			for _, k := range it.RecvOrder {
 				key += k + "\x00"
 			}
-			orders[key] = true
+			return key, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		orders := make(map[string]bool, len(keys))
+		for _, k := range keys {
+			orders[k] = true
 		}
 		rows = append(rows, UniqueOrdersRow{Model: spec.Name, Iterations: o.Runs, Unique: len(orders)})
 	}

@@ -69,6 +69,12 @@ func (c Config) batch() int {
 }
 
 // Cluster is a built multi-device execution graph plus its metadata.
+//
+// A Cluster is read-only after Build: RunIteration, Run, ComputeSchedule and
+// ReferenceWorker only read the graph (the simulator keeps all per-run state
+// in locals), so one Cluster may be shared by concurrent goroutines — the
+// parallel bench engine relies on this for the repeated-run experiments
+// (Figure 12, unique orders). ChainRecvsByOrder clones before mutating.
 type Cluster struct {
 	Config Config
 	// Graph is the full multi-device DAG executed each iteration.
@@ -332,11 +338,11 @@ func (c *Cluster) ComputeSchedule(algo core.Algorithm, warmupIters int, seed int
 	return nil, fmt.Errorf("cluster: unknown algorithm %q", algo)
 }
 
-// TraceOracle runs warmup baseline iterations with the tracing module
-// attached and returns a time oracle estimated from the measurements
-// (§5: tracing module → time oracle estimator), keyed by reference-worker
-// op names. kind selects the reduction (the paper uses min of 5 runs).
-func (c *Cluster) TraceOracle(warmupIters int, seed int64, kind timing.EstimateKind) (timing.Oracle, error) {
+// TraceRuns runs warmup baseline iterations with the tracing module
+// attached and returns the tracer (§5: tracing module). Callers can derive
+// estimators of several kinds from the one trace via OracleFromTrace — the
+// oracle-estimator ablation compares three reductions of identical samples.
+func (c *Cluster) TraceRuns(warmupIters int, seed int64) (*timing.Tracer, error) {
 	if warmupIters < 1 {
 		warmupIters = 5
 	}
@@ -352,13 +358,31 @@ func (c *Cluster) TraceOracle(warmupIters int, seed int64, kind timing.EstimateK
 			return nil, err
 		}
 	}
+	return tracer, nil
+}
+
+// OracleFromTrace reduces a tracer's measurements into a time oracle keyed
+// by reference-worker op names. kind selects the reduction (the paper uses
+// min of 5 runs).
+func (c *Cluster) OracleFromTrace(tracer *timing.Tracer, kind timing.EstimateKind) timing.Oracle {
 	// Trace names carry the worker prefix; rekey to reference names.
 	est := tracer.Estimator(kind, c.Config.Platform.Oracle())
 	return timing.OracleFunc(func(op *graph.Op) float64 {
 		probe := *op
 		probe.Name = "w0/" + op.Name
 		return est.Time(&probe)
-	}), nil
+	})
+}
+
+// TraceOracle runs warmup baseline iterations and returns a time oracle
+// estimated from the measurements (§5: tracing module → time oracle
+// estimator). It is TraceRuns followed by OracleFromTrace.
+func (c *Cluster) TraceOracle(warmupIters int, seed int64, kind timing.EstimateKind) (timing.Oracle, error) {
+	tracer, err := c.TraceRuns(warmupIters, seed)
+	if err != nil {
+		return nil, err
+	}
+	return c.OracleFromTrace(tracer, kind), nil
 }
 
 // ChainRecvsByOrder returns a clone of the cluster graph with every

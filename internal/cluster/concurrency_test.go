@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"tictac/internal/core"
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+// TestConcurrentRunIterationSharedCluster pins the documented contract that
+// a built Cluster (and one computed schedule) may be shared by concurrent
+// goroutines: RunIteration only reads the graph, and equal seeds give
+// bit-identical iterations regardless of interleaving. Under go test -race
+// this is the audit the parallel bench engine relies on for the
+// repeated-run experiments (Figure 12, unique orders).
+func TestConcurrentRunIterationSharedCluster(t *testing.T) {
+	spec, ok := model.ByName("Inception v1")
+	if !ok {
+		t.Fatal("model missing")
+	}
+	c, err := Build(Config{
+		Model: spec, Mode: model.Training,
+		Workers: 2, PS: 1, Platform: timing.EnvG(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := c.ComputeSchedule(core.AlgoTIC, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const runs = 8
+	// Sequential reference: one iteration per seed.
+	refs := make([]*Iteration, runs)
+	for i := range refs {
+		it, err := c.RunIteration(RunOptions{Schedule: sched, Seed: int64(i), Jitter: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = it
+	}
+
+	// The concurrent half shares a FRESH schedule (TIC is deterministic, so
+	// it is identical to the reference one) whose lazy position index has
+	// never been touched — the goroutines race its first build, which the
+	// sync.Once in core.Schedule must make safe.
+	sched2, err := c.ComputeSchedule(core.AlgoTIC, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]*Iteration, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = c.RunIteration(RunOptions{Schedule: sched2, Seed: int64(i), Jitter: -1})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(got[i], refs[i]) {
+			t.Fatalf("run %d: concurrent iteration differs from sequential reference", i)
+		}
+	}
+}

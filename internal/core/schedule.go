@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"tictac/internal/graph"
 	"tictac/internal/timing"
@@ -27,6 +28,11 @@ const (
 // computed on a reference worker applies to every worker replica and to the
 // PS-side send ops of the same parameter), falling back to the op name for
 // ad-hoc graphs.
+//
+// A Schedule is immutable after construction and safe for concurrent use by
+// multiple goroutines (the parallel bench engine shares one schedule across
+// simulator runs). Always construct and pass schedules by pointer; do not
+// mutate Rank or Order after handing a schedule to a reader.
 type Schedule struct {
 	// Algorithm records which heuristic produced the schedule.
 	Algorithm Algorithm
@@ -39,6 +45,7 @@ type Schedule struct {
 	// Ties in Rank are broken by recv-op graph order (deterministic).
 	Order []string
 
+	posOnce  sync.Once
 	posCache map[string]int
 }
 
@@ -60,14 +67,15 @@ func (s *Schedule) Position(op *graph.Op) (int, bool) {
 	return r, ok
 }
 
-// rankIndex lazily inverts Order into a position map.
+// rankIndex lazily inverts Order into a position map. The sync.Once makes
+// the lazy build safe when concurrent simulator runs share one schedule.
 func (s *Schedule) rankIndex() map[string]int {
-	if s.posCache == nil {
+	s.posOnce.Do(func() {
 		s.posCache = make(map[string]int, len(s.Order))
 		for i, k := range s.Order {
 			s.posCache[k] = i
 		}
-	}
+	})
 	return s.posCache
 }
 

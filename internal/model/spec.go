@@ -44,6 +44,11 @@ func (f Family) String() string {
 }
 
 // Spec describes one model from Table 1.
+//
+// Spec is a plain value type: copy it freely and treat every copy as
+// immutable. The parallel bench engine hands the same Spec value to many
+// goroutines at once; all derived artifacts (ParamTensors, worker graphs)
+// are freshly allocated per call and never share mutable state.
 type Spec struct {
 	// Name is the Table 1 model name, e.g. "ResNet-50 v2".
 	Name string

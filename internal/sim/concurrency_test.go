@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRunsShareGraphAndSchedule pins the contract the parallel
+// bench engine depends on: Run keeps all mutable state in locals, so any
+// number of goroutines may execute the same graph — and share one schedule —
+// concurrently, and equal seeds still give bit-identical results. Run under
+// go test -race this is the simulator's data-race gate.
+func TestConcurrentRunsShareGraphAndSchedule(t *testing.T) {
+	g, oracle := figure1()
+	ref, err := Run(g, Config{Oracle: oracle, Schedule: sched("recv1", "recv2"), Seed: 42, Jitter: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The concurrent goroutines share a FRESH schedule whose position index
+	// has never been built, so the lazy sync.Once first-touch itself races
+	// here — reverting it to an unguarded nil-check must fail under -race.
+	s := sched("recv1", "recv2")
+	const goroutines = 16
+	results := make([]*Result, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(g, Config{Oracle: oracle, Schedule: s, Seed: 42, Jitter: 0.1})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i].Makespan != ref.Makespan {
+			t.Fatalf("goroutine %d: makespan %v != %v", i, results[i].Makespan, ref.Makespan)
+		}
+		if len(results[i].Spans) != len(ref.Spans) {
+			t.Fatalf("goroutine %d: %d spans != %d", i, len(results[i].Spans), len(ref.Spans))
+		}
+	}
+}
+
+// TestConcurrentSchedulePosition races many readers over one schedule's
+// lazily-built position index.
+func TestConcurrentSchedulePosition(t *testing.T) {
+	g, _ := figure1()
+	s := sched("recv1", "recv2")
+	ops := g.Ops()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, op := range ops {
+				s.Position(op)
+			}
+		}()
+	}
+	wg.Wait()
+	if pos, ok := s.Position(g.Op("recv2")); !ok || pos != 1 {
+		t.Fatalf("recv2 position = %d, %v", pos, ok)
+	}
+}

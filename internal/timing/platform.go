@@ -24,6 +24,10 @@ func (f OracleFunc) Time(op *graph.Op) float64 { return f(op) }
 // Platform is a cost model of an execution environment. It plays the role
 // of the authors' testbed hardware: given an op's payload (FLOPs or bytes),
 // it yields the op's dedicated-resource runtime.
+//
+// Platform is a plain value type: copy it freely and treat every copy as
+// immutable. Cost and Oracle are pure functions of the value, so one
+// Platform may serve any number of concurrent simulator runs.
 type Platform struct {
 	// Name identifies the profile ("envG", "envC").
 	Name string
