@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+.PHONY: all build test race bench fmt vet doc ci
 
 all: build
 
@@ -13,10 +13,11 @@ test:
 	$(GO) test ./...
 
 # Race gate: the packages with documented concurrency contracts — the real
-# TCP PS runtime, the simulator, the cluster layer and the parallel bench
-# engine (plus the bench experiments that fan out across it).
+# TCP PS runtime, the simulator, the cluster layer, the scheduling-policy
+# registry and the parallel bench engine (plus the bench experiments that
+# fan out across it).
 race:
-	$(GO) test -race ./internal/psrt/ ./internal/sim/ ./internal/cluster/ ./internal/bench/...
+	$(GO) test -race ./internal/psrt/ ./internal/sim/ ./internal/cluster/ ./internal/sched/ ./internal/bench/...
 
 # Benchmark smoke: compile and run every benchmark once, no measurements.
 bench:
@@ -29,4 +30,9 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test bench
+# Docs gate: godoc must render for every package (catches broken package
+# comments and malformed doc syntax).
+doc:
+	@for p in $$($(GO) list ./...); do $(GO) doc $$p >/dev/null || exit 1; done
+
+ci: fmt vet doc build test bench

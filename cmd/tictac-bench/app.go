@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"tictac/internal/bench"
 	"tictac/internal/bench/engine"
+	"tictac/internal/sched"
 )
 
 // appConfig is the parsed CLI configuration.
@@ -32,6 +34,7 @@ func parseArgs(args []string, stderr io.Writer) (*appConfig, error) {
 		seed     = fs.Int64("seed", 1, "base random seed")
 		jobs     = fs.Int("jobs", 0, "experiment engine worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
 		jsonPath = fs.String("json", "", "write machine-readable results to this file ('-' = stdout)")
+		policies = fs.String("policies", "", "comma-separated scheduling policies for the shootout experiment (default: all registered; known: "+strings.Join(sched.Names(), ", ")+")")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -52,6 +55,23 @@ func parseArgs(args []string, stderr io.Writer) (*appConfig, error) {
 	}
 	opts.Seed = *seed
 	opts.Jobs = *jobs
+	if *policies != "" {
+		seen := map[string]bool{}
+		for _, name := range strings.Split(*policies, ",") {
+			name = strings.TrimSpace(strings.ToLower(name))
+			if name == "" || seen[name] {
+				continue
+			}
+			if _, err := sched.New(name, opts.Seed); err != nil {
+				return nil, err
+			}
+			seen[name] = true
+			opts.Policies = append(opts.Policies, name)
+		}
+		if opts.Policies == nil {
+			return nil, fmt.Errorf("-policies lists no policy names")
+		}
+	}
 	return &appConfig{experiments: exps, opts: opts, jsonPath: *jsonPath}, nil
 }
 

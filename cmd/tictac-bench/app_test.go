@@ -19,8 +19,11 @@ func TestParseArgsDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cfg.experiments) != 12 {
-		t.Fatalf("experiments = %d, want 12", len(cfg.experiments))
+	if len(cfg.experiments) != 13 {
+		t.Fatalf("experiments = %d, want 13", len(cfg.experiments))
+	}
+	if cfg.opts.Policies != nil {
+		t.Fatalf("default policies = %v, want nil (all registered)", cfg.opts.Policies)
 	}
 	if cfg.opts.Seed != 1 || cfg.opts.Jobs != 0 || cfg.jsonPath != "" {
 		t.Fatalf("cfg = %+v", cfg)
@@ -61,6 +64,24 @@ func TestParseArgsRejectsAllPlusExplicit(t *testing.T) {
 	var stderr bytes.Buffer
 	if _, err := parseArgs([]string{"-exp", "all,fig7"}, &stderr); err == nil {
 		t.Fatal("want error for 'all,fig7'")
+	}
+}
+
+func TestParseArgsPolicies(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"-policies", " TIC ,fifo,tic"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Case-insensitive, trimmed, and deduplicated.
+	if len(cfg.opts.Policies) != 2 || cfg.opts.Policies[0] != "tic" || cfg.opts.Policies[1] != "fifo" {
+		t.Fatalf("policies = %v", cfg.opts.Policies)
+	}
+	if _, err := parseArgs([]string{"-policies", "tic,bogus"}, &stderr); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := parseArgs([]string{"-policies", " , "}, &stderr); err == nil {
+		t.Fatal("want error for empty policy list")
 	}
 }
 

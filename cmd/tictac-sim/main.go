@@ -1,11 +1,11 @@
 // Command tictac-sim simulates synchronized Parameter-Server iterations of
 // a model on a configurable cluster and reports iteration time, throughput,
 // scheduling efficiency and straggler effect for the baseline and the
-// chosen heuristic.
+// chosen scheduling policy (any name registered in internal/sched).
 //
 // Usage:
 //
-//	tictac-sim -model "VGG-16" -mode training -workers 8 -ps 2 -env envG -algo tic
+//	tictac-sim -model "VGG-16" -mode training -workers 8 -ps 2 -env envG -policy tic
 package main
 
 import (
@@ -25,7 +25,7 @@ func main() {
 		workers   = flag.Int("workers", 4, "number of workers")
 		ps        = flag.Int("ps", 1, "number of parameter servers")
 		env       = flag.String("env", "envG", "platform profile: envG|envC")
-		algo      = flag.String("algo", "tic", "heuristic to compare against baseline: tic|tac")
+		policy    = flag.String("policy", "tic", "scheduling policy to compare against baseline: "+strings.Join(tictac.SchedulingPolicies(), "|"))
 		batchX    = flag.Float64("batchx", 1, "batch-size factor (0.5, 1, 2, ...)")
 		warmup    = flag.Int("warmup", 2, "warmup iterations to discard")
 		measure   = flag.Int("measure", 10, "measured iterations")
@@ -53,13 +53,12 @@ func main() {
 	if err != nil {
 		fatalf("build: %v", err)
 	}
-	algorithm := tictac.AlgoTIC
-	if strings.EqualFold(*algo, "tac") {
-		algorithm = tictac.AlgoTAC
-	}
-	sched, err := c.ComputeSchedule(algorithm, 5, *seed)
+	sched, err := c.ComputeSchedule(*policy, 5, *seed)
 	if err != nil {
 		fatalf("schedule: %v", err)
+	}
+	if sched == nil {
+		fatalf("policy %q yields no schedule; pick one of %s", *policy, strings.Join(tictac.SchedulingPolicies(), ", "))
 	}
 	exp := tictac.Experiment{Warmup: *warmup, Measure: *measure}
 	base, err := c.Run(exp, tictac.RunOptions{Seed: *seed, Jitter: -1})
@@ -73,14 +72,14 @@ func main() {
 
 	fmt.Printf("%s (%s)  workers=%d ps=%d batchx=%.2f env=%s\n",
 		spec.Name, m, *workers, *ps, *batchX, platform.Name)
-	fmt.Printf("%-10s %14s %14s %10s %12s %8s\n",
+	fmt.Printf("%-14s %14s %14s %10s %12s %8s\n",
 		"method", "iter time (s)", "samples/s", "E(mean)", "straggler%", "orders")
 	printRow := func(name string, o *tictac.Outcome) {
-		fmt.Printf("%-10s %14.4f %14.1f %10.3f %12.1f %8d\n",
+		fmt.Printf("%-14s %14.4f %14.1f %10.3f %12.1f %8d\n",
 			name, o.MeanMakespan, o.MeanThroughput, o.MeanEfficiency, o.MaxStragglerPct, o.UniqueRecvOrders)
 	}
 	printRow("baseline", base)
-	printRow(string(algorithm), enforced)
+	printRow(*policy, enforced)
 	fmt.Printf("throughput speedup: %.1f%%\n",
 		(enforced.MeanThroughput-base.MeanThroughput)/base.MeanThroughput*100)
 

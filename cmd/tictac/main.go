@@ -1,9 +1,11 @@
 // Command tictac runs the ordering wizard: it builds a model's worker DAG,
-// computes a TIC or TAC transfer schedule and prints the priority list.
+// computes a transfer schedule under any registered scheduling policy
+// (tic, tac, random, fifo, revtopo, smallest-first, critical-path, ...) and
+// prints the priority list.
 //
 // Usage:
 //
-//	tictac -model "ResNet-50 v2" -mode training -algo tac -env envG [-top 20]
+//	tictac -model "ResNet-50 v2" -mode training -policy tac -env envG [-top 20]
 package main
 
 import (
@@ -19,8 +21,9 @@ func main() {
 	var (
 		modelName = flag.String("model", "ResNet-50 v2", "Table 1 model name (see -list)")
 		mode      = flag.String("mode", "training", "worker graph mode: training|inference")
-		algo      = flag.String("algo", "tic", "scheduling heuristic: tic|tac")
-		env       = flag.String("env", "envG", "platform profile for TAC's oracle: envG|envC")
+		policy    = flag.String("policy", "tic", "scheduling policy: "+strings.Join(tictac.SchedulingPolicies(), "|"))
+		env       = flag.String("env", "envG", "platform profile for timing-aware policies: envG|envC")
+		seed      = flag.Int64("seed", 1, "seed for stochastic policies (random)")
 		top       = flag.Int("top", 0, "print only the first N transfers (0 = all)")
 		list      = flag.Bool("list", false, "list available models and exit")
 		outFile   = flag.String("o", "", "write the schedule as JSON to this file")
@@ -55,29 +58,25 @@ func main() {
 		fatalf("build: %v", err)
 	}
 
-	var sched *tictac.Schedule
-	switch strings.ToLower(*algo) {
-	case "tic":
-		sched, err = tictac.TIC(g)
-	case "tac":
-		platform := tictac.EnvG()
-		if strings.EqualFold(*env, "envC") {
-			platform = tictac.EnvC()
-		}
-		sched, err = tictac.TAC(g, platform.Oracle())
-	default:
-		fatalf("unknown algorithm %q", *algo)
+	p, err := tictac.NewPolicy(*policy, *seed)
+	if err != nil {
+		fatalf("%v", err)
 	}
+	platform := tictac.EnvG()
+	if strings.EqualFold(*env, "envC") {
+		platform = tictac.EnvC()
+	}
+	sched, err := p.Order(g, &platform)
 	if err != nil {
 		fatalf("schedule: %v", err)
 	}
 
-	oracle := tictac.EnvG().Oracle()
+	oracle := platform.Oracle()
 	upper, lower := tictac.Bounds(g, oracle)
 	fmt.Printf("model: %s (%s), %d ops, %d transfers\n", spec.Name, m, g.Len(), len(sched.Order))
 	fmt.Printf("theoretical speedup S = %.3f (UMakespan %.4fs, LMakespan %.4fs)\n",
 		tictac.Speedup(g, oracle), upper, lower)
-	fmt.Printf("%s priority order:\n", strings.ToUpper(*algo))
+	fmt.Printf("%s priority order:\n", strings.ToUpper(*policy))
 	n := len(sched.Order)
 	if *top > 0 && *top < n {
 		n = *top

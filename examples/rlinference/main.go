@@ -32,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sched, err := c.ComputeSchedule(tictac.AlgoTIC, 0, 1)
+	sched, err := c.ComputeSchedule(tictac.PolicyTIC, 0, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

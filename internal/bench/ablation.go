@@ -7,6 +7,7 @@ import (
 	"tictac/internal/cluster"
 	"tictac/internal/core"
 	"tictac/internal/model"
+	"tictac/internal/sched"
 	"tictac/internal/sim"
 	"tictac/internal/stats"
 	"tictac/internal/timing"
@@ -34,7 +35,7 @@ func AblationEnforcement(o Options) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched, err := c.ComputeSchedule(core.AlgoTIC, 0, o.Seed)
+	sched, err := c.ComputeSchedule("tic", 0, o.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +142,7 @@ func AblationReorder(o Options) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched, err := c.ComputeSchedule(core.AlgoTIC, 0, o.Seed)
+	sched, err := c.ComputeSchedule("tic", 0, o.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +190,7 @@ func AblationNetworkModel(o Options) ([]AblationRow, error) {
 			Workers: 8, PS: 2, Platform: timing.EnvC(),
 			SharedPSNIC: shared,
 		}
-		base, tic, _, err := runPair(cfg, core.AlgoTIC, o)
+		base, tic, _, err := runPair(cfg, sched.TIC, o)
 		if err != nil {
 			return nil, err
 		}

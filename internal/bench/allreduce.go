@@ -8,6 +8,7 @@ import (
 	"tictac/internal/collective"
 	"tictac/internal/core"
 	"tictac/internal/model"
+	"tictac/internal/sched"
 	"tictac/internal/sim"
 	"tictac/internal/stats"
 	"tictac/internal/timing"
@@ -58,7 +59,7 @@ func AllReduceExtension(o Options) ([]AllReduceRow, error) {
 			Model: p.spec, Mode: model.Training,
 			Workers: p.workers, PS: ps, Platform: timing.EnvG(),
 		}
-		psBase, psTic, _, err := runPair(psCfg, core.AlgoTIC, o)
+		psBase, psTic, _, err := runPair(psCfg, sched.TIC, o)
 		if err != nil {
 			return AllReduceRow{}, err
 		}

@@ -366,6 +366,81 @@ func TestPipelineExtension(t *testing.T) {
 	}
 }
 
+func TestShootout(t *testing.T) {
+	o := quick()
+	o.Models = []string{"Inception v1", "VGG-16"}
+	res, err := Shootout(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 models × every registered policy (random is among them).
+	policies := len(res.Summary)
+	if policies < 6 {
+		t.Fatalf("shootout covered %d policies, want >= 6", policies)
+	}
+	if len(res.Rows) != 2*policies {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), 2*policies)
+	}
+	var ticGeo, randomGeo float64
+	for _, s := range res.Summary {
+		switch s.Policy {
+		case "tic":
+			ticGeo = s.GeomeanNormIterTime
+		case "random":
+			randomGeo = s.GeomeanNormIterTime
+		}
+	}
+	if randomGeo < 0.999 || randomGeo > 1.001 {
+		t.Fatalf("random normalizes to %v, want 1.0", randomGeo)
+	}
+	// TIC must beat an arbitrary fixed order on communication-heavy models.
+	if ticGeo >= 1 {
+		t.Fatalf("tic geomean normalized iteration time = %v, want < 1", ticGeo)
+	}
+	for _, r := range res.Rows {
+		if r.MeanIterSec <= 0 || r.Throughput <= 0 || r.NormIterTime <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	// A policy subset still gets the random baseline appended.
+	o.Policies = []string{"tic", "fifo"}
+	sub, err := Shootout(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Summary) != 3 {
+		t.Fatalf("subset policies = %d, want tic+fifo+random", len(sub.Summary))
+	}
+	// A typo'd model name must fail loudly, not produce an empty report.
+	o.Models = []string{"VGG16"}
+	if _, err := Shootout(o); err == nil || !strings.Contains(err.Error(), "VGG16") {
+		t.Fatalf("unknown model: err = %v", err)
+	}
+	o.Models = []string{"Inception v1"}
+	// Same for the policy subset: unknown and empty fail, duplicates dedupe.
+	o.Policies = []string{"tic", "bogus"}
+	if _, err := Shootout(o); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown policy: err = %v", err)
+	}
+	o.Policies = []string{}
+	if _, err := Shootout(o); err == nil {
+		t.Fatal("empty policy list accepted")
+	}
+	o.Policies = []string{"tic", "tic"}
+	dup, err := Shootout(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dup.Summary) != 2 { // tic + appended random, deduplicated
+		t.Fatalf("dup policies = %+v", dup.Summary)
+	}
+	var buf bytes.Buffer
+	WriteShootout(&buf, res)
+	if !strings.Contains(buf.String(), "GeomeanNormIter") || !strings.Contains(buf.String(), "critical-path") {
+		t.Fatal("render broken")
+	}
+}
+
 func TestOptionsDefaults(t *testing.T) {
 	var o Options
 	d := o.withDefaults()

@@ -5,8 +5,8 @@ import (
 
 	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
-	"tictac/internal/core"
 	"tictac/internal/model"
+	"tictac/internal/sched"
 	"tictac/internal/timing"
 )
 
@@ -47,7 +47,7 @@ func Fig11EfficiencyStraggler(o Options) ([]Fig11Row, error) {
 			PS:       1,
 			Platform: timing.EnvG(),
 		}
-		base, tic, _, err := runPair(cfg, core.AlgoTIC, o)
+		base, tic, _, err := runPair(cfg, sched.TIC, o)
 		if err != nil {
 			return Fig11Row{}, err
 		}

@@ -6,7 +6,6 @@ import (
 
 	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
-	"tictac/internal/core"
 	"tictac/internal/model"
 	"tictac/internal/stats"
 	"tictac/internal/timing"
@@ -49,7 +48,7 @@ func Fig12Regression(o Options) (*Fig12Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched, err := c.ComputeSchedule(core.AlgoTAC, 5, o.Seed)
+	sched, err := c.ComputeSchedule("tac", 5, o.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -5,8 +5,8 @@ import (
 
 	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
-	"tictac/internal/core"
 	"tictac/internal/model"
+	"tictac/internal/sched"
 	"tictac/internal/timing"
 )
 
@@ -61,17 +61,17 @@ func Fig13TICvsTAC(o Options) ([]Fig13Row, error) {
 			return Fig13Row{}, err
 		}
 		row := Fig13Row{Model: p.spec.Name, Task: p.mode.String()}
-		for _, algo := range []core.Algorithm{core.AlgoTIC, core.AlgoTAC} {
-			sched, err := c.ComputeSchedule(algo, 5, o.Seed)
+		for _, policy := range []string{sched.TIC, sched.TAC} {
+			s, err := c.ComputeSchedule(policy, 5, o.Seed)
 			if err != nil {
 				return Fig13Row{}, err
 			}
-			out, err := c.Run(o.experiment(), cluster.RunOptions{Schedule: sched, Seed: o.Seed + 999, Jitter: -1})
+			out, err := c.Run(o.experiment(), cluster.RunOptions{Schedule: s, Seed: o.Seed + 999, Jitter: -1})
 			if err != nil {
 				return Fig13Row{}, err
 			}
 			pct := speedupPct(base.MeanThroughput, out.MeanThroughput)
-			if algo == core.AlgoTIC {
+			if policy == sched.TIC {
 				row.TicSpeedupPct = pct
 			} else {
 				row.TacSpeedupPct = pct

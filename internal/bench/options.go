@@ -32,6 +32,10 @@ type Options struct {
 	// Models restricts sweeps to the named models; nil uses each figure's
 	// paper set.
 	Models []string
+	// Policies restricts the policy-shootout experiment to the named
+	// scheduling policies (see internal/sched); nil sweeps every registered
+	// policy.
+	Policies []string
 	// Seed is the base RNG seed.
 	Seed int64
 	// Jobs bounds the experiment engine's worker pool. Zero means
@@ -102,14 +106,14 @@ func sweepModels(o Options) []model.Spec {
 	return specs
 }
 
-// runPair measures a configuration under the baseline and under the given
-// algorithm, returning both outcomes and the computed schedule.
-func runPair(cfg cluster.Config, algo core.Algorithm, o Options) (base, enforced *cluster.Outcome, sched *core.Schedule, err error) {
+// runPair measures a configuration under the baseline and under the named
+// scheduling policy, returning both outcomes and the computed schedule.
+func runPair(cfg cluster.Config, policy string, o Options) (base, enforced *cluster.Outcome, sched *core.Schedule, err error) {
 	c, err := cluster.Build(cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	sched, err = c.ComputeSchedule(algo, 5, o.Seed)
+	sched, err = c.ComputeSchedule(policy, 5, o.Seed)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -5,8 +5,8 @@ import (
 
 	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
-	"tictac/internal/core"
 	"tictac/internal/model"
+	"tictac/internal/sched"
 	"tictac/internal/timing"
 )
 
@@ -53,7 +53,7 @@ func PipelineExtension(o Options) ([]PipelineRow, error) {
 			Workers: 4, PS: 1, Platform: timing.EnvG(),
 			Iterations: p.iters,
 		}
-		base, tic, _, err := runPair(cfg, core.AlgoTIC, o)
+		base, tic, _, err := runPair(cfg, sched.TIC, o)
 		if err != nil {
 			return PipelineRow{}, err
 		}

@@ -111,6 +111,14 @@ func Experiments() []Experiment {
 			WritePipeline(w, rows)
 			return rows, nil
 		}},
+		{Name: "shootout", Run: func(o Options, w io.Writer) (any, error) {
+			res, err := Shootout(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteShootout(w, res)
+			return res, nil
+		}},
 		{Name: "ablations", Run: func(o Options, w io.Writer) (any, error) {
 			type study struct {
 				title string

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"tictac/internal/bench/engine"
+	"tictac/internal/cluster"
+	"tictac/internal/model"
+	"tictac/internal/sched"
+	"tictac/internal/timing"
+)
+
+// ShootoutRow is one (model, policy) point of the policy shootout: the
+// measured iteration time and throughput of the policy's enforced order,
+// normalized against the seeded-random policy on the same model.
+type ShootoutRow struct {
+	Model  string
+	Policy string
+	// MeanIterSec is the mean measured iteration time under the policy.
+	MeanIterSec float64
+	// Throughput is samples/second under the policy.
+	Throughput float64
+	// NormIterTime is MeanIterSec divided by the random policy's
+	// MeanIterSec for the same model: 1.0 matches random, below 1.0 is
+	// faster than today's arbitrary orders.
+	NormIterTime float64
+	// SpeedupPct is the throughput speedup over the random policy.
+	SpeedupPct float64
+}
+
+// ShootoutSummary aggregates one policy across every model in the sweep.
+type ShootoutSummary struct {
+	Policy string
+	// GeomeanNormIterTime is the geometric mean of NormIterTime across
+	// models (the per-policy normalized iteration time headline).
+	GeomeanNormIterTime float64
+	// MeanSpeedupPct is the arithmetic mean throughput speedup vs random.
+	MeanSpeedupPct float64
+}
+
+// ShootoutResult bundles the per-point rows with the per-policy summary.
+type ShootoutResult struct {
+	Rows    []ShootoutRow
+	Summary []ShootoutSummary
+}
+
+// shootoutModels resolves the model sweep: the full Table 1 catalog, or the
+// subset named by Options.Models. Unlike the figure sweeps (whose paper
+// sets silently skip absent models), an unknown name here is an error — a
+// typo would otherwise produce an empty report that still exits 0 in CI.
+func shootoutModels(o Options) ([]model.Spec, error) {
+	if o.Models == nil {
+		return model.Catalog(), nil
+	}
+	var specs []model.Spec
+	for _, n := range o.Models {
+		s, ok := model.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("bench: shootout: unknown model %q", n)
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// shootoutPolicies resolves the policy sweep: every registered policy, or
+// the subset named by Options.Policies — deduplicated, validated against
+// the registry, and rejected when empty, so a bad subset fails loudly
+// rather than degenerating silently. The random policy is always included:
+// it is the normalization baseline.
+func shootoutPolicies(o Options) ([]string, error) {
+	named := o.Policies
+	if named == nil {
+		named = sched.Names()
+	}
+	var policies []string
+	seen := map[string]bool{}
+	for _, p := range named {
+		if seen[p] {
+			continue
+		}
+		if _, err := sched.New(p, o.Seed); err != nil {
+			return nil, fmt.Errorf("bench: shootout: %w", err)
+		}
+		seen[p] = true
+		policies = append(policies, p)
+	}
+	if policies == nil {
+		return nil, fmt.Errorf("bench: shootout: empty policy list")
+	}
+	if !seen[sched.Random] {
+		policies = append(policies, sched.Random)
+	}
+	return policies, nil
+}
+
+// Shootout sweeps every registered scheduling policy over the Table 1
+// models (training, 4 workers, 1 PS, envG — the communication-bound regime
+// where ordering matters most) and reports each policy's iteration time
+// normalized to the seeded-random policy, the deterministic stand-in for
+// stock TensorFlow's arbitrary per-iteration orders. One engine point per
+// (model, policy) pair; every point builds its own cluster and derives its
+// randomness from the base seed, so output is bit-identical at any -jobs
+// width.
+func Shootout(o Options) (*ShootoutResult, error) {
+	o = o.withDefaults()
+	specs, err := shootoutModels(o)
+	if err != nil {
+		return nil, err
+	}
+	policies, err := shootoutPolicies(o)
+	if err != nil {
+		return nil, err
+	}
+	type point struct {
+		spec   model.Spec
+		policy string
+	}
+	var points []point
+	for _, spec := range specs {
+		for _, policy := range policies {
+			points = append(points, point{spec, policy})
+		}
+	}
+	rows, err := engine.Map(o.jobs(), len(points), func(i int) (ShootoutRow, error) {
+		p := points[i]
+		c, err := cluster.Build(cluster.Config{
+			Model:    p.spec,
+			Mode:     model.Training,
+			Workers:  4,
+			PS:       1,
+			Platform: timing.EnvG(),
+		})
+		if err != nil {
+			return ShootoutRow{}, err
+		}
+		s, err := c.ComputeSchedule(p.policy, 5, o.Seed)
+		if err != nil {
+			return ShootoutRow{}, err
+		}
+		out, err := c.Run(o.experiment(), cluster.RunOptions{Schedule: s, Seed: o.Seed + 1000003, Jitter: -1})
+		if err != nil {
+			return ShootoutRow{}, err
+		}
+		return ShootoutRow{
+			Model:       p.spec.Name,
+			Policy:      p.policy,
+			MeanIterSec: out.MeanMakespan,
+			Throughput:  out.MeanThroughput,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Normalize every row against the random policy's row for its model.
+	randomIter := make(map[string]float64, len(specs))
+	randomTput := make(map[string]float64, len(specs))
+	for _, r := range rows {
+		if r.Policy == sched.Random {
+			randomIter[r.Model] = r.MeanIterSec
+			randomTput[r.Model] = r.Throughput
+		}
+	}
+	for i := range rows {
+		if base := randomIter[rows[i].Model]; base > 0 {
+			rows[i].NormIterTime = rows[i].MeanIterSec / base
+		}
+		rows[i].SpeedupPct = speedupPct(randomTput[rows[i].Model], rows[i].Throughput)
+	}
+	// Per-policy aggregation across models.
+	var summary []ShootoutSummary
+	for _, policy := range policies {
+		logSum, pctSum := 0.0, 0.0
+		n := 0
+		for _, r := range rows {
+			if r.Policy != policy || r.NormIterTime <= 0 {
+				continue
+			}
+			logSum += math.Log(r.NormIterTime)
+			pctSum += r.SpeedupPct
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		summary = append(summary, ShootoutSummary{
+			Policy:              policy,
+			GeomeanNormIterTime: math.Exp(logSum / float64(n)),
+			MeanSpeedupPct:      pctSum / float64(n),
+		})
+	}
+	return &ShootoutResult{Rows: rows, Summary: summary}, nil
+}
+
+// WriteShootout renders the shootout as a per-point table plus the
+// per-policy summary.
+func WriteShootout(w io.Writer, res *ShootoutResult) {
+	var cells [][]string
+	for _, r := range res.Rows {
+		cells = append(cells, []string{
+			r.Model, r.Policy, f3(r.MeanIterSec), f1(r.Throughput), f3(r.NormIterTime), f1(r.SpeedupPct),
+		})
+	}
+	RenderTable(w, "Policy shootout: every registered ordering policy vs the random baseline (training, 4W/1PS, envG)",
+		[]string{"Model", "Policy", "IterSec", "Tput", "NormIter", "SpeedUp%"}, cells)
+	var sum [][]string
+	for _, s := range res.Summary {
+		sum = append(sum, []string{s.Policy, f3(s.GeomeanNormIterTime), f1(s.MeanSpeedupPct)})
+	}
+	RenderTable(w, "Policy shootout: per-policy summary across models (normalized to random)",
+		[]string{"Policy", "GeomeanNormIter", "MeanSpeedUp%"}, sum)
+}

@@ -5,8 +5,8 @@ import (
 
 	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
-	"tictac/internal/core"
 	"tictac/internal/model"
+	"tictac/internal/sched"
 	"tictac/internal/timing"
 )
 
@@ -98,7 +98,7 @@ func sweepPoint(spec model.Spec, mode model.Mode, workers, ps int, factor float6
 		BatchFactor: factor,
 		Platform:    timing.EnvG(),
 	}
-	base, tic, _, err := runPair(cfg, core.AlgoTIC, o)
+	base, tic, _, err := runPair(cfg, sched.TIC, o)
 	if err != nil {
 		return SweepRow{}, err
 	}

@@ -15,6 +15,7 @@ import (
 	"tictac/internal/core"
 	"tictac/internal/graph"
 	"tictac/internal/model"
+	"tictac/internal/sched"
 	"tictac/internal/sim"
 	"tictac/internal/timing"
 )
@@ -314,28 +315,36 @@ func (c *Cluster) ReferenceWorker() *graph.Graph {
 	return out
 }
 
-// ComputeSchedule runs the ordering wizard for the cluster.
+// ComputeSchedule runs the ordering wizard for the cluster under the named
+// scheduling policy (see internal/sched for the registry).
 //
-// AlgoNone returns nil (baseline). AlgoTIC needs only the DAG. AlgoTAC
-// first traces warmup baseline iterations (the paper's tracing module),
-// reduces them with the min-of-k estimator (§5), and feeds the estimated
-// oracle to TAC. The schedule is computed offline, before measurement
-// iterations, exactly as in the paper ("the priority list is calculated
-// offline before the execution; all iterations follow the same order").
-func (c *Cluster) ComputeSchedule(algo core.Algorithm, warmupIters int, seed int64) (*core.Schedule, error) {
-	switch algo {
-	case core.AlgoNone:
+// sched.None (or the empty string) returns a nil schedule — the unscheduled
+// baseline. Timing-aware policies that implement sched.OracleOrderer (tac)
+// first trace warmup baseline iterations (the paper's tracing module),
+// reduce them with the min-of-k estimator (§5), and order under the
+// estimated oracle; every other policy orders the reference worker directly
+// against the platform's analytic cost model. Either way the schedule is
+// computed offline, before measurement iterations, exactly as in the paper
+// ("the priority list is calculated offline before the execution; all
+// iterations follow the same order"). seed feeds both the warmup trace and
+// any stochastic policy (random).
+func (c *Cluster) ComputeSchedule(policy string, warmupIters int, seed int64) (*core.Schedule, error) {
+	if policy == "" || policy == sched.None {
 		return nil, nil
-	case core.AlgoTIC:
-		return core.TIC(c.ReferenceWorker())
-	case core.AlgoTAC:
+	}
+	p, err := sched.New(policy, seed)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if oo, ok := p.(sched.OracleOrderer); ok {
 		oracle, err := c.TraceOracle(warmupIters, seed, timing.EstimateMin)
 		if err != nil {
 			return nil, err
 		}
-		return core.TAC(c.ReferenceWorker(), oracle)
+		return oo.OrderWithOracle(c.ReferenceWorker(), oracle)
 	}
-	return nil, fmt.Errorf("cluster: unknown algorithm %q", algo)
+	plat := c.Config.Platform
+	return p.Order(c.ReferenceWorker(), &plat)
 }
 
 // TraceRuns runs warmup baseline iterations with the tracing module

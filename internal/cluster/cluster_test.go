@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -134,31 +135,56 @@ func TestReferenceWorkerMatchesModelBuild(t *testing.T) {
 	}
 }
 
-func TestComputeScheduleAlgorithms(t *testing.T) {
+func TestComputeSchedulePolicies(t *testing.T) {
 	cfg := smallConfig(2, 1, model.Training)
 	c, err := Build(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s, err := c.ComputeSchedule(core.AlgoNone, 0, 1); err != nil || s != nil {
+	if s, err := c.ComputeSchedule("none", 0, 1); err != nil || s != nil {
 		t.Fatalf("none: %v %v", s, err)
 	}
-	tic, err := c.ComputeSchedule(core.AlgoTIC, 0, 1)
+	if s, err := c.ComputeSchedule("", 0, 1); err != nil || s != nil {
+		t.Fatalf("empty policy: %v %v", s, err)
+	}
+	tic, err := c.ComputeSchedule("tic", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tic.Order) != cfg.Model.Params {
 		t.Fatalf("TIC order len = %d", len(tic.Order))
 	}
-	tac, err := c.ComputeSchedule(core.AlgoTAC, 3, 1)
+	// The registry path must agree with the direct core entry point: the
+	// refactor may not change what "tic" means.
+	direct, err := core.TIC(c.ReferenceWorker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tic.Order, direct.Order) {
+		t.Fatalf("policy tic order %v != core.TIC order %v", tic.Order, direct.Order)
+	}
+	tac, err := c.ComputeSchedule("tac", 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tac.Order) != cfg.Model.Params {
 		t.Fatalf("TAC order len = %d", len(tac.Order))
 	}
-	if _, err := c.ComputeSchedule(core.Algorithm("bogus"), 0, 1); err == nil {
-		t.Fatal("bogus algorithm accepted")
+	// Every other registered policy also produces a full, runnable order.
+	for _, policy := range []string{"random", "fifo", "revtopo", "smallest-first", "critical-path"} {
+		s, err := c.ComputeSchedule(policy, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if len(s.Order) != cfg.Model.Params {
+			t.Fatalf("%s order len = %d", policy, len(s.Order))
+		}
+		if _, err := c.RunIteration(RunOptions{Schedule: s, Seed: 3, Jitter: -1}); err != nil {
+			t.Fatalf("%s run: %v", policy, err)
+		}
+	}
+	if _, err := c.ComputeSchedule("bogus", 0, 1); err == nil {
+		t.Fatal("bogus policy accepted")
 	}
 }
 
@@ -169,7 +195,7 @@ func TestRunIterationBaselineVsTIC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tic, err := c.ComputeSchedule(core.AlgoTIC, 0, 1)
+	tic, err := c.ComputeSchedule("tic", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +324,7 @@ func TestBuildChainedIterationsTraining(t *testing.T) {
 		t.Fatal("reference names wrong")
 	}
 	// Scheduling and running a chained graph works end to end.
-	sched, err := c.ComputeSchedule(core.AlgoTIC, 0, 1)
+	sched, err := c.ComputeSchedule("tic", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +403,7 @@ func TestChainRecvsByOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, err := c.ComputeSchedule(core.AlgoTIC, 0, 1)
+	sched, err := c.ComputeSchedule("tic", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"testing"
 
-	"tictac/internal/core"
 	"tictac/internal/model"
 	"tictac/internal/timing"
 )
@@ -28,7 +27,7 @@ func TestConcurrentRunIterationSharedCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, err := c.ComputeSchedule(core.AlgoTIC, 0, 1)
+	sched, err := c.ComputeSchedule("tic", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +47,7 @@ func TestConcurrentRunIterationSharedCluster(t *testing.T) {
 	// it is identical to the reference one) whose lazy position index has
 	// never been touched — the goroutines race its first build, which the
 	// sync.Once in core.Schedule must make safe.
-	sched2, err := c.ComputeSchedule(core.AlgoTIC, 0, 1)
+	sched2, err := c.ComputeSchedule("tic", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,12 @@
 // communication-scheduling heuristics (§4, Algorithms 1–3), the priority
 // schedules they produce, and the scheduling-efficiency metrics (§3.2,
 // equations 1–4).
+//
+// Schedules serialize to a stable JSON form documented in
+// docs/schedule-format.md (field meanings, validation rules and a worked
+// example); see Schedule.WriteJSON and ReadSchedule. Alternative ordering
+// heuristics beyond TIC/TAC live in the internal/sched policy registry and
+// produce the same Schedule type.
 package core
 
 import (

@@ -9,7 +9,9 @@ import (
 // scheduleJSON is the stable on-disk form of a Schedule. The ordering wizard
 // runs offline (§5: "the priority list is calculated offline before the
 // execution"), so schedules are serialized once and shipped to the
-// enforcement module of every sender.
+// enforcement module of every sender. The format is documented field by
+// field, with validation rules and a worked example, in
+// docs/schedule-format.md.
 type scheduleJSON struct {
 	Algorithm Algorithm      `json:"algorithm"`
 	Rank      map[string]int `json:"rank"`

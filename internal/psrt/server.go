@@ -20,9 +20,10 @@ type ServerConfig struct {
 	// gradients.
 	LR float32
 	// Schedule, when non-nil, enforces the transfer order on parameter
-	// pulls per worker (§5.1). Each worker must then pull every scheduled
-	// parameter every iteration, mirroring TensorFlow activating all recv
-	// ops at the start of each iteration.
+	// pulls per worker (§5.1); any internal/sched policy's output works.
+	// Each worker must then pull every scheduled parameter every iteration,
+	// mirroring TensorFlow activating all recv ops at the start of each
+	// iteration.
 	Schedule *core.Schedule
 	// ReorderProb injects RPC-layer priority inversions: with this
 	// probability a ready transfer that is NOT next in the enforced order

@@ -1,0 +1,88 @@
+// Package sched turns transfer ordering into a pluggable policy space.
+//
+// The paper's central claim is that *which order* parameters cross the
+// network in is the lever behind TicTac's speedups — TIC (§4.2) and TAC
+// (§4.3) are just two points in a much larger space of ordering heuristics.
+// This package makes that space explorable: a scheduling policy is anything
+// that maps a worker partition (and, optionally, a platform cost model) to a
+// core.Schedule, and a registry lets every consumer layer — the simulator,
+// the cluster builder, the real PS runtime and the bench experiments —
+// select policies by name instead of hard-coding the TIC/TAC pair.
+//
+// Adding a new ordering idea is a ~50-line drop-in: implement Policy,
+// Register it in an init function, and every binary flag surface
+// (cmd/tictac, cmd/tictac-sim, cmd/tictac-bench -policies) and the
+// "shootout" experiment pick it up automatically.
+//
+// The built-in policies are:
+//
+//   - tic            — Timing-Independent Communication (Algorithm 2)
+//   - tac            — Timing-Aware Communication (Algorithm 3); consumes a
+//     traced time oracle when one is available (see OracleOrderer)
+//   - random         — a seeded uniformly random total order; a deterministic
+//     stand-in for stock TensorFlow's arbitrary per-iteration orders (§2.2)
+//     and the normalization baseline of the shootout experiment
+//   - fifo           — graph insertion order (the order recv ops were built)
+//   - revtopo        — reverse deterministic topological order
+//   - smallest-first — ascending transfer size in bytes
+//   - critical-path  — descending downstream-compute critical path (a
+//     TAC-like greedy that needs no timing oracle: FLOPs stand in for time)
+//
+// Every policy is deterministic for a fixed seed: two calls with the same
+// graph and seed produce byte-identical schedules, which the parallel bench
+// engine relies on.
+package sched
+
+import (
+	"fmt"
+
+	"tictac/internal/core"
+	"tictac/internal/graph"
+	"tictac/internal/timing"
+)
+
+// Policy is one transfer-ordering heuristic. Implementations must be
+// stateless apart from construction-time parameters (e.g. a seed): Order may
+// be called concurrently from the parallel bench engine.
+type Policy interface {
+	// Name returns the registry selector of the policy (e.g. "tic").
+	Name() string
+	// Order computes a transfer schedule over the worker partition g. plat
+	// supplies the platform's analytic cost model for timing-aware policies;
+	// timing-independent policies ignore it, and it may be nil for them.
+	Order(g *graph.Graph, plat *timing.Platform) (*core.Schedule, error)
+}
+
+// OracleOrderer is implemented by timing-aware policies that can consume a
+// measured time oracle — e.g. one estimated from warmup traces by the
+// tracing module (§5) — instead of the platform's analytic cost model.
+// cluster.ComputeSchedule prefers this path when available, reproducing the
+// paper's offline trace→estimate→order pipeline.
+type OracleOrderer interface {
+	// OrderWithOracle computes the schedule under the given time oracle.
+	OrderWithOracle(g *graph.Graph, oracle timing.Oracle) (*core.Schedule, error)
+}
+
+// recvsInGraphOrder returns the partition's recv ops in graph insertion
+// order (ascending op ID) — the deterministic base order every heuristic
+// permutes.
+func recvsInGraphOrder(g *graph.Graph) []*graph.Op {
+	return g.OpsOfKind(graph.Recv)
+}
+
+// fromOrderedRecvs builds a normalized Schedule from recv ops listed in
+// priority order: position i becomes both the rank and the total-order slot
+// of the i-th recv's transfer key. It rejects partitions where two recvs
+// share a transfer key, mirroring core.TIC/core.TAC.
+func fromOrderedRecvs(name string, recvs []*graph.Op) (*core.Schedule, error) {
+	s := &core.Schedule{Algorithm: core.Algorithm(name), Rank: make(map[string]int, len(recvs))}
+	for i, op := range recvs {
+		key := core.Key(op)
+		if _, dup := s.Rank[key]; dup {
+			return nil, fmt.Errorf("sched: duplicate transfer key %q in partition", key)
+		}
+		s.Rank[key] = i
+		s.Order = append(s.Order, key)
+	}
+	return s, nil
+}

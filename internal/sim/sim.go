@@ -28,7 +28,8 @@ type Config struct {
 	// Platform.Oracle()). Required.
 	Oracle timing.Oracle
 	// Schedule, when non-nil, enforces transfer priorities on network
-	// channels. Nil reproduces the unscheduled baseline.
+	// channels. Any internal/sched policy (tic, tac, random, ...) produces
+	// one; nil reproduces the unscheduled baseline.
 	Schedule *core.Schedule
 	// Seed seeds the run's random choices (ready-queue tie-breaking,
 	// jitter, reorder errors). Runs with equal seeds are identical.

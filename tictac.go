@@ -15,6 +15,9 @@
 //   - ModelSpec: the ten Table 1 DNN models (internal/model)
 //   - Platform / Oracle / Tracer: cost model and time oracle (internal/timing)
 //   - TIC / TAC / Efficiency / Speedup: the paper's contribution (internal/core)
+//   - Policy / NewPolicy / SchedulingPolicies: the pluggable ordering-policy
+//     registry (internal/sched) — TIC and TAC plus random, fifo, revtopo,
+//     smallest-first and critical-path baselines
 //   - Simulate: multi-resource discrete-event execution (internal/sim)
 //   - BuildCluster: Model-Replica + PS graphs and iteration protocol
 //     (internal/cluster)
@@ -26,9 +29,11 @@
 //		Model: spec, Mode: tictac.Training, Workers: 4, PS: 1,
 //		Platform: tictac.EnvG(),
 //	})
-//	sched, _ := c.ComputeSchedule(tictac.AlgoTIC, 0, 1)
+//	sched, _ := c.ComputeSchedule(tictac.PolicyTIC, 0, 1)
 //	out, _ := c.Run(tictac.DefaultExperiment, tictac.RunOptions{Schedule: sched, Jitter: -1})
 //	fmt.Println(out.MeanThroughput)
+//
+// See ARCHITECTURE.md for the full layer map and data-flow walkthrough.
 package tictac
 
 import (
@@ -38,6 +43,7 @@ import (
 	"tictac/internal/core"
 	"tictac/internal/graph"
 	"tictac/internal/model"
+	"tictac/internal/sched"
 	"tictac/internal/sim"
 	"tictac/internal/timing"
 )
@@ -61,10 +67,13 @@ type (
 	// Mode selects inference or training worker graphs.
 	Mode = model.Mode
 
-	// Schedule is a transfer-priority assignment produced by TIC or TAC.
+	// Schedule is a transfer-priority assignment produced by a scheduling
+	// policy.
 	Schedule = core.Schedule
-	// Algorithm names a scheduling heuristic.
+	// Algorithm names the heuristic recorded in a Schedule.
 	Algorithm = core.Algorithm
+	// Policy is one pluggable transfer-ordering heuristic (internal/sched).
+	Policy = sched.Policy
 
 	// Platform is an execution-environment cost model.
 	Platform = timing.Platform
@@ -111,12 +120,34 @@ const (
 	Training  = model.Training
 )
 
-// Scheduling algorithms.
+// Scheduling algorithms (the names recorded in Schedule.Algorithm).
 const (
 	AlgoNone = core.AlgoNone
 	AlgoTIC  = core.AlgoTIC
 	AlgoTAC  = core.AlgoTAC
 )
+
+// Scheduling-policy selectors for Cluster.ComputeSchedule and NewPolicy.
+// PolicyNone yields a nil schedule (the unscheduled baseline); the rest
+// resolve against the internal/sched registry.
+const (
+	PolicyNone          = sched.None
+	PolicyTIC           = sched.TIC
+	PolicyTAC           = sched.TAC
+	PolicyRandom        = sched.Random
+	PolicyFIFO          = sched.FIFO
+	PolicyRevTopo       = sched.RevTopo
+	PolicySmallestFirst = sched.SmallestFirst
+	PolicyCriticalPath  = sched.CriticalPath
+)
+
+// SchedulingPolicies returns every registered policy name in canonical
+// order.
+func SchedulingPolicies() []string { return sched.Names() }
+
+// NewPolicy instantiates a registered scheduling policy by name. seed feeds
+// stochastic policies (random); deterministic policies ignore it.
+func NewPolicy(name string, seed int64) (Policy, error) { return sched.New(name, seed) }
 
 // DefaultExperiment is the paper's 2-warmup / 10-measured protocol.
 var DefaultExperiment = cluster.DefaultExperiment

@@ -21,7 +21,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, err := c.ComputeSchedule(tictac.AlgoTIC, 0, 1)
+	sched, err := c.ComputeSchedule(tictac.PolicyTIC, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
