@@ -15,9 +15,10 @@ test:
 # Race gate: the packages with documented concurrency contracts — the real
 # TCP PS runtime, the simulator, the cluster layer, the scheduling-policy
 # registry and the parallel bench engine (plus the bench experiments that
-# fan out across it).
+# fan out across it) — and the cost-model/stats value types those engine
+# goroutines share.
 race:
-	$(GO) test -race ./internal/psrt/ ./internal/sim/ ./internal/cluster/ ./internal/sched/ ./internal/bench/...
+	$(GO) test -race ./internal/psrt/ ./internal/sim/ ./internal/cluster/ ./internal/sched/ ./internal/timing/ ./internal/stats/ ./internal/bench/...
 
 # Benchmark smoke: compile and run every benchmark once, no measurements.
 bench:

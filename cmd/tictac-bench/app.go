@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,12 +30,14 @@ func parseArgs(args []string, stderr io.Writer) (*appConfig, error) {
 	fs := flag.NewFlagSet("tictac-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expList  = fs.String("exp", "all", "comma-separated experiments or 'all'")
-		full     = fs.Bool("full", false, "paper-scale protocol (10 measured iterations, 1000 runs, 500 training iters)")
-		seed     = fs.Int64("seed", 1, "base random seed")
-		jobs     = fs.Int("jobs", 0, "experiment engine worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
-		jsonPath = fs.String("json", "", "write machine-readable results to this file ('-' = stdout)")
-		policies = fs.String("policies", "", "comma-separated scheduling policies for the shootout experiment (default: all registered; known: "+strings.Join(sched.Names(), ", ")+")")
+		expList    = fs.String("exp", "all", "comma-separated experiments or 'all'")
+		full       = fs.Bool("full", false, "paper-scale protocol (10 measured iterations, 1000 runs, 500 training iters)")
+		seed       = fs.Int64("seed", 1, "base random seed")
+		jobs       = fs.Int("jobs", 0, "experiment engine worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
+		jsonPath   = fs.String("json", "", "write machine-readable results to this file ('-' = stdout)")
+		policies   = fs.String("policies", "", "comma-separated scheduling policies for the shootout and hetero experiments (default: all registered; known: "+strings.Join(sched.Names(), ", ")+")")
+		severities = fs.String("hetero-severities", "", "comma-separated slow-down factors (> 1) for the hetero experiment, e.g. '2,4,8' (default: 2,4)")
+		scenarios  = fs.String("hetero-scenarios", "", "comma-separated hetero scenarios (default: all; known: "+strings.Join(bench.HeteroScenarioNames(), ", ")+")")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -70,6 +73,47 @@ func parseArgs(args []string, stderr io.Writer) (*appConfig, error) {
 		}
 		if opts.Policies == nil {
 			return nil, fmt.Errorf("-policies lists no policy names")
+		}
+	}
+	if *severities != "" {
+		for _, field := range strings.Split(*severities, ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			k, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-hetero-severities: %q is not a number", field)
+			}
+			if k <= 1 {
+				return nil, fmt.Errorf("-hetero-severities: factor %v must be > 1", k)
+			}
+			opts.HeteroSeverities = append(opts.HeteroSeverities, k)
+		}
+		if opts.HeteroSeverities == nil {
+			return nil, fmt.Errorf("-hetero-severities lists no factors")
+		}
+	}
+	if *scenarios != "" {
+		known := map[string]bool{}
+		for _, s := range bench.HeteroScenarioNames() {
+			known[s] = true
+		}
+		seen := map[string]bool{}
+		for _, name := range strings.Split(*scenarios, ",") {
+			name = strings.TrimSpace(strings.ToLower(name))
+			if name == "" || seen[name] {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("-hetero-scenarios: unknown scenario %q (known: %s)",
+					name, strings.Join(bench.HeteroScenarioNames(), ", "))
+			}
+			seen[name] = true
+			opts.HeteroScenarios = append(opts.HeteroScenarios, name)
+		}
+		if opts.HeteroScenarios == nil {
+			return nil, fmt.Errorf("-hetero-scenarios lists no scenarios")
 		}
 	}
 	return &appConfig{experiments: exps, opts: opts, jsonPath: *jsonPath}, nil

@@ -19,8 +19,8 @@ func TestParseArgsDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cfg.experiments) != 13 {
-		t.Fatalf("experiments = %d, want 13", len(cfg.experiments))
+	if len(cfg.experiments) != 14 {
+		t.Fatalf("experiments = %d, want 14", len(cfg.experiments))
 	}
 	if cfg.opts.Policies != nil {
 		t.Fatalf("default policies = %v, want nil (all registered)", cfg.opts.Policies)
@@ -82,6 +82,46 @@ func TestParseArgsPolicies(t *testing.T) {
 	}
 	if _, err := parseArgs([]string{"-policies", " , "}, &stderr); err == nil {
 		t.Fatal("want error for empty policy list")
+	}
+}
+
+func TestParseArgsHeteroFlags(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{
+		"-hetero-severities", " 2, 8 ",
+		"-hetero-scenarios", " Straggler ,contention,straggler",
+	}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.opts.HeteroSeverities) != 2 || cfg.opts.HeteroSeverities[0] != 2 || cfg.opts.HeteroSeverities[1] != 8 {
+		t.Fatalf("severities = %v", cfg.opts.HeteroSeverities)
+	}
+	// Case-insensitive, trimmed, deduplicated.
+	want := []string{"straggler", "contention"}
+	if len(cfg.opts.HeteroScenarios) != 2 || cfg.opts.HeteroScenarios[0] != want[0] || cfg.opts.HeteroScenarios[1] != want[1] {
+		t.Fatalf("scenarios = %v", cfg.opts.HeteroScenarios)
+	}
+	// Defaults stay nil so bench picks its own sweep.
+	cfg, err = parseArgs(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opts.HeteroSeverities != nil || cfg.opts.HeteroScenarios != nil {
+		t.Fatalf("unset flags populated options: %+v", cfg.opts)
+	}
+	// Rejections: non-numeric, <= 1, unknown scenario, empty lists.
+	for _, args := range [][]string{
+		{"-hetero-severities", "fast"},
+		{"-hetero-severities", "1"},
+		{"-hetero-severities", "0.5"},
+		{"-hetero-severities", " , "},
+		{"-hetero-scenarios", "meteor-strike"},
+		{"-hetero-scenarios", " , "},
+	} {
+		if _, err := parseArgs(args, &stderr); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
 	}
 }
 

@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"tictac/internal/bench/engine"
+	"tictac/internal/cluster"
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+// The hetero experiment family asks the question the paper's §6.3
+// straggler measurements motivate but its homogeneous testbed cannot:
+// which scheduling policy degrades gracefully when the hardware is
+// unequal? Each scenario perturbs the shootout's reference configuration
+// (training, 4 workers, 1 PS, envG) one way, at a sweep of severities, and
+// every row is normalized against the same (model, policy) pair on the
+// unperturbed cluster — so "robustness" reads directly as how little of
+// the homogeneous speedup a policy forfeits under stress.
+//
+// Scenarios:
+//
+//   - straggler  — worker 0's compute is statically k× slower (a lower-bin
+//     or thermally limited device), expressed as a PlatformMap device
+//     override; schedules are recomputed on the hetero cluster, so
+//     timing-aware policies get to adapt.
+//   - transient  — worker 0 is k× slower only during the middle half of
+//     the measured iterations (co-tenancy interference), injected per run
+//     via cluster.Straggler windows; the schedule cannot anticipate it.
+//   - contention — every channel's transfers are k× slower for the whole
+//     run (background network traffic), injected via cluster.Contention.
+//   - asym-link  — worker 0's channel to the PS is k× narrower (a
+//     congested uplink), a PlatformMap channel override.
+//
+// The homogeneous baseline (severity 1, scenario "homog") is executed with
+// exactly the shootout's pipeline and seeds, so its numbers are
+// bit-identical to the shootout rows for the same models and policies.
+
+// Hetero scenario names, in presentation order.
+const (
+	ScenarioStraggler  = "straggler"
+	ScenarioTransient  = "transient"
+	ScenarioContention = "contention"
+	ScenarioAsymLink   = "asym-link"
+)
+
+// scenarioHomog tags the severity-1 normalization anchor rows.
+const scenarioHomog = "homog"
+
+// HeteroScenarioNames returns the selectable hetero scenarios in order.
+func HeteroScenarioNames() []string {
+	return []string{ScenarioStraggler, ScenarioTransient, ScenarioContention, ScenarioAsymLink}
+}
+
+// HeteroRow is one (model, policy, scenario, severity) point of the
+// heterogeneity sweep.
+type HeteroRow struct {
+	Model    string
+	Policy   string
+	Scenario string
+	// Severity is the slow-down factor k applied by the scenario (1 for
+	// the homogeneous baseline rows).
+	Severity float64
+	// MeanIterSec is the mean measured iteration time.
+	MeanIterSec float64
+	// MaxStragglerPct is the worst §6.3 straggler effect observed: the
+	// maximum time any worker spent waiting, as % of iteration time.
+	MaxStragglerPct float64
+	// NormVsHomog is MeanIterSec divided by the homogeneous baseline of
+	// the same (model, policy): how much of the iteration the injected
+	// heterogeneity costs under this policy.
+	NormVsHomog float64
+}
+
+// HeteroSummary aggregates one (policy, scenario) pair across models and
+// severities — the policy-robustness headline.
+type HeteroSummary struct {
+	Policy   string
+	Scenario string
+	// GeomeanNormVsHomog is the geometric mean of NormVsHomog: 1.0 means
+	// the policy fully absorbs the perturbation, higher means it forfeits
+	// proportionally more of its homogeneous iteration time.
+	GeomeanNormVsHomog float64
+	// MeanStragglerPct averages MaxStragglerPct across the pair's rows.
+	MeanStragglerPct float64
+}
+
+// HeteroResult bundles the per-point rows with the robustness summary.
+type HeteroResult struct {
+	Rows    []HeteroRow
+	Summary []HeteroSummary
+}
+
+// heteroModels resolves the model sweep: a cheap/communication-bound
+// Table 1 pair by default, or the subset named by Options.Models
+// (validated like the shootout's).
+func heteroModels(o Options) ([]model.Spec, error) {
+	if o.Models == nil {
+		o.Models = []string{"AlexNet v2", "VGG-16"}
+	}
+	return shootoutModels(o)
+}
+
+// heteroSeverities resolves, validates and deduplicates the severity
+// sweep (a repeated factor would double-weight its rows in the summary
+// geomean).
+func heteroSeverities(o Options) ([]float64, error) {
+	if o.HeteroSeverities == nil {
+		return []float64{2, 4}, nil
+	}
+	var out []float64
+	seen := map[float64]bool{}
+	for _, k := range o.HeteroSeverities {
+		if k <= 1 {
+			return nil, fmt.Errorf("bench: hetero: severity %v must be > 1", k)
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// heteroScenarios resolves and validates the scenario list.
+func heteroScenarios(o Options) ([]string, error) {
+	if o.HeteroScenarios == nil {
+		return HeteroScenarioNames(), nil
+	}
+	known := map[string]bool{}
+	for _, s := range HeteroScenarioNames() {
+		known[s] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range o.HeteroScenarios {
+		if !known[s] {
+			return nil, fmt.Errorf("bench: hetero: unknown scenario %q (known: %v)", s, HeteroScenarioNames())
+		}
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("bench: hetero: empty scenario list")
+	}
+	return out, nil
+}
+
+// heteroPoint is one engine work item.
+type heteroPoint struct {
+	spec     model.Spec
+	policy   string
+	scenario string
+	severity float64
+}
+
+// runHeteroPoint builds the point's cluster (with any static PlatformMap
+// override), computes the policy schedule on it, and measures under any
+// per-run injection. The homog path is kept literally identical to the
+// shootout's: same Config literal, same schedule warmup, same run seeds.
+func runHeteroPoint(p heteroPoint, o Options) (HeteroRow, error) {
+	cfg := cluster.Config{
+		Model:    p.spec,
+		Mode:     model.Training,
+		Workers:  4,
+		PS:       1,
+		Platform: timing.EnvG(),
+	}
+	switch p.scenario {
+	case ScenarioStraggler:
+		cfg.Platforms = timing.NewPlatformMap(timing.EnvG()).
+			SetDevice(cluster.WorkerDevice(0), timing.EnvG().SlowedCompute(p.severity))
+	case ScenarioAsymLink:
+		cfg.Platforms = timing.NewPlatformMap(timing.EnvG()).
+			SetChannel(cluster.ChannelResource(0, 0),
+				timing.ChannelCost{Bandwidth: timing.EnvG().NetBandwidth / p.severity})
+	}
+	c, err := cluster.Build(cfg)
+	if err != nil {
+		return HeteroRow{}, err
+	}
+	s, err := c.ComputeSchedule(p.policy, 5, o.Seed)
+	if err != nil {
+		return HeteroRow{}, err
+	}
+	opts := cluster.RunOptions{Schedule: s, Seed: o.Seed + 1000003, Jitter: -1}
+	exp := o.experiment()
+	switch p.scenario {
+	case ScenarioTransient:
+		// Slow worker 0 during the middle half of the measured iterations
+		// (iteration indices count warmup first, matching cluster.Run).
+		from := exp.Warmup + exp.Measure/4
+		until := exp.Warmup + exp.Measure - exp.Measure/4
+		if until <= from {
+			until = from + 1
+		}
+		opts.Stragglers = []cluster.Straggler{{Worker: 0, Factor: p.severity, From: from, Until: until}}
+	case ScenarioContention:
+		opts.Contention = []cluster.Contention{{Factor: p.severity}}
+	}
+	out, err := c.Run(exp, opts)
+	if err != nil {
+		return HeteroRow{}, err
+	}
+	return HeteroRow{
+		Model:           p.spec.Name,
+		Policy:          p.policy,
+		Scenario:        p.scenario,
+		Severity:        p.severity,
+		MeanIterSec:     out.MeanMakespan,
+		MaxStragglerPct: out.MaxStragglerPct,
+	}, nil
+}
+
+// Hetero sweeps scenario × severity × policy over the model set on the
+// parallel engine, normalizing every row against the homogeneous baseline
+// of its (model, policy) pair. One engine point per row; every point
+// derives its randomness from the base seed only, so output is
+// bit-identical at any -jobs width.
+func Hetero(o Options) (*HeteroResult, error) {
+	o = o.withDefaults()
+	specs, err := heteroModels(o)
+	if err != nil {
+		return nil, err
+	}
+	policies, err := shootoutPolicies(o)
+	if err != nil {
+		return nil, err
+	}
+	severities, err := heteroSeverities(o)
+	if err != nil {
+		return nil, err
+	}
+	scenarios, err := heteroScenarios(o)
+	if err != nil {
+		return nil, err
+	}
+	var points []heteroPoint
+	for _, spec := range specs {
+		for _, policy := range policies {
+			points = append(points, heteroPoint{spec, policy, scenarioHomog, 1})
+			for _, scenario := range scenarios {
+				for _, k := range severities {
+					points = append(points, heteroPoint{spec, policy, scenario, k})
+				}
+			}
+		}
+	}
+	rows, err := engine.Map(o.jobs(), len(points), func(i int) (HeteroRow, error) {
+		return runHeteroPoint(points[i], o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Normalize against the homogeneous anchor of each (model, policy).
+	homog := make(map[string]float64)
+	for _, r := range rows {
+		if r.Scenario == scenarioHomog {
+			homog[r.Model+"\x00"+r.Policy] = r.MeanIterSec
+		}
+	}
+	for i := range rows {
+		if base := homog[rows[i].Model+"\x00"+rows[i].Policy]; base > 0 {
+			rows[i].NormVsHomog = rows[i].MeanIterSec / base
+		}
+	}
+	// Robustness summary per (policy, scenario), across models × severities.
+	var summary []HeteroSummary
+	for _, policy := range policies {
+		for _, scenario := range scenarios {
+			logSum, pctSum := 0.0, 0.0
+			n := 0
+			for _, r := range rows {
+				if r.Policy != policy || r.Scenario != scenario || r.NormVsHomog <= 0 {
+					continue
+				}
+				logSum += math.Log(r.NormVsHomog)
+				pctSum += r.MaxStragglerPct
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			summary = append(summary, HeteroSummary{
+				Policy:             policy,
+				Scenario:           scenario,
+				GeomeanNormVsHomog: math.Exp(logSum / float64(n)),
+				MeanStragglerPct:   pctSum / float64(n),
+			})
+		}
+	}
+	return &HeteroResult{Rows: rows, Summary: summary}, nil
+}
+
+// WriteHetero renders the hetero sweep as a per-point table plus the
+// policy-robustness summary.
+func WriteHetero(w io.Writer, res *HeteroResult) {
+	var cells [][]string
+	for _, r := range res.Rows {
+		cells = append(cells, []string{
+			r.Model, r.Policy, r.Scenario, f1(r.Severity),
+			f3(r.MeanIterSec), f1(r.MaxStragglerPct), f3(r.NormVsHomog),
+		})
+	}
+	RenderTable(w, "Hetero: straggler/contention scenarios vs policy (training, 4W/1PS, envG; normalized to each pair's homogeneous baseline)",
+		[]string{"Model", "Policy", "Scenario", "Slow×", "IterSec", "Straggler%", "NormIter"}, cells)
+	var sum [][]string
+	for _, s := range res.Summary {
+		sum = append(sum, []string{s.Policy, s.Scenario, f3(s.GeomeanNormVsHomog), f1(s.MeanStragglerPct)})
+	}
+	RenderTable(w, "Hetero: policy robustness (geomean normalized iteration time across models × severities)",
+		[]string{"Policy", "Scenario", "GeomeanNormIter", "MeanStraggler%"}, sum)
+}

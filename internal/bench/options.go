@@ -32,10 +32,17 @@ type Options struct {
 	// Models restricts sweeps to the named models; nil uses each figure's
 	// paper set.
 	Models []string
-	// Policies restricts the policy-shootout experiment to the named
-	// scheduling policies (see internal/sched); nil sweeps every registered
-	// policy.
+	// Policies restricts the policy-shootout and hetero experiments to the
+	// named scheduling policies (see internal/sched); nil sweeps every
+	// registered policy.
 	Policies []string
+	// HeteroSeverities lists the slow-down factors the hetero experiment
+	// sweeps (each scenario is run once per factor); nil uses {2, 4}.
+	HeteroSeverities []float64
+	// HeteroScenarios restricts the hetero experiment to the named
+	// scenarios (see HeteroScenarioNames); nil sweeps all of them. The
+	// homogeneous baseline always runs — it is the normalization anchor.
+	HeteroScenarios []string
 	// Seed is the base RNG seed.
 	Seed int64
 	// Jobs bounds the experiment engine's worker pool. Zero means

@@ -119,6 +119,14 @@ func Experiments() []Experiment {
 			WriteShootout(w, res)
 			return res, nil
 		}},
+		{Name: "hetero", Run: func(o Options, w io.Writer) (any, error) {
+			res, err := Hetero(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteHetero(w, res)
+			return res, nil
+		}},
 		{Name: "ablations", Run: func(o Options, w io.Writer) (any, error) {
 			type study struct {
 				title string

@@ -33,8 +33,20 @@ type Config struct {
 	// BatchFactor scales the model's standard batch size (×0.5, ×1, ×2 in
 	// Figure 10). Zero means 1.
 	BatchFactor float64
-	// Platform supplies the cost model (EnvG or EnvC).
+	// Platform supplies the cost model (EnvG or EnvC). With Platforms set
+	// it is the profile every device without an override resolves to.
 	Platform timing.Platform
+	// Platforms, when non-nil, makes the cluster heterogeneous: per-device
+	// Platform overrides and per-channel bandwidth/latency overrides
+	// layered over Platform. Build validates every override key against
+	// the cluster's actual device tags and channel resources (a typo would
+	// otherwise be a silent no-op) and normalizes the map so that
+	// Platforms.Default and Platform agree — set either one; if both are
+	// set they must describe the same base profile. Nil, or a map with no
+	// overrides, is bit-identical to the homogeneous model. Jitter stays a
+	// per-run scalar (Platform's, or RunOptions.Jitter): a device
+	// override's Jitter field is ignored.
+	Platforms *timing.PlatformMap
 	// Iterations chains this many back-to-back synchronized iterations into
 	// one graph (0 or 1 = single iteration). Iteration k+1's read of a
 	// parameter depends on iteration k's update of that parameter, so
@@ -67,6 +79,65 @@ func (c Config) batch() int {
 		b = 1
 	}
 	return b
+}
+
+// validateOverrides checks every PlatformMap override key against the
+// device tags and channel resources this configuration actually builds, and
+// every device override against the same sanity bar as the base platform.
+func (c Config) validateOverrides() error {
+	if c.Platforms == nil {
+		return nil
+	}
+	for dev, p := range c.Platforms.Devices {
+		if !c.knownDevice(dev) {
+			return fmt.Errorf("cluster: platform override for unknown device %q", dev)
+		}
+		if p.ComputeFLOPS <= 0 || p.NetBandwidth <= 0 {
+			return fmt.Errorf("cluster: invalid platform override for device %q", dev)
+		}
+	}
+	for res, cc := range c.Platforms.Channels {
+		if !c.knownChannel(res) {
+			return fmt.Errorf("cluster: channel override for unknown resource %q", res)
+		}
+		if cc.Bandwidth < 0 || cc.Latency < 0 {
+			return fmt.Errorf("cluster: negative channel override for %q", res)
+		}
+	}
+	return nil
+}
+
+func (c Config) knownDevice(dev string) bool {
+	for w := 0; w < c.Workers; w++ {
+		if dev == WorkerDevice(w) {
+			return true
+		}
+	}
+	for j := 0; j < c.PS; j++ {
+		if dev == PSDevice(j) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Config) knownChannel(res string) bool {
+	if c.SharedPSNIC {
+		for j := 0; j < c.PS; j++ {
+			if res == PSDevice(j)+"/net" {
+				return true
+			}
+		}
+		return false
+	}
+	for w := 0; w < c.Workers; w++ {
+		for j := 0; j < c.PS; j++ {
+			if res == ChannelResource(w, j) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Cluster is a built multi-device execution graph plus its metadata.
@@ -105,8 +176,24 @@ func Build(cfg Config) (*Cluster, error) {
 	if cfg.PS < 1 {
 		return nil, fmt.Errorf("cluster: need >= 1 PS, got %d", cfg.PS)
 	}
+	if cfg.Platforms != nil {
+		pm := cfg.Platforms.Clone()
+		zero := timing.Platform{}
+		switch {
+		case pm.Default == zero:
+			pm.Default = cfg.Platform
+		case cfg.Platform == zero:
+			cfg.Platform = pm.Default
+		case pm.Default != cfg.Platform:
+			return nil, fmt.Errorf("cluster: Platform %q and Platforms.Default %q disagree", cfg.Platform.Name, pm.Default.Name)
+		}
+		cfg.Platforms = pm
+	}
 	if cfg.Platform.ComputeFLOPS <= 0 || cfg.Platform.NetBandwidth <= 0 {
 		return nil, fmt.Errorf("cluster: invalid platform %q", cfg.Platform.Name)
+	}
+	if err := cfg.validateOverrides(); err != nil {
+		return nil, err
 	}
 	params := cfg.Model.ParamTensors()
 	shard := shardParams(params, cfg.PS)
@@ -264,6 +351,17 @@ func (c *Cluster) PSLoads() []int64 {
 	return loads
 }
 
+// oracle returns the cluster's ground-truth cost oracle: the heterogeneous
+// PlatformMap when one is configured, the homogeneous platform otherwise
+// (the exact same code path and arithmetic as before heterogeneity
+// existed, keeping homogeneous runs bit-identical).
+func (c *Cluster) oracle() timing.Oracle {
+	if c.Config.Platforms != nil {
+		return c.Config.Platforms.Oracle()
+	}
+	return c.Config.Platform.Oracle()
+}
+
 // refPrefix is the op-name prefix of the reference worker's first-iteration
 // replica inside the full graph.
 func (c *Cluster) refPrefix() string {
@@ -328,6 +426,11 @@ func (c *Cluster) ReferenceWorker() *graph.Graph {
 // ("the priority list is calculated offline before the execution; all
 // iterations follow the same order"). seed feeds both the warmup trace and
 // any stochastic policy (random).
+//
+// On a heterogeneous cluster the oracle path sees the full PlatformMap
+// (warmup traces run on the hetero graph, so a slow worker's measured op
+// times flow into the estimated oracle), while analytic policies order
+// against the reference worker's own resolved platform.
 func (c *Cluster) ComputeSchedule(policy string, warmupIters int, seed int64) (*core.Schedule, error) {
 	if policy == "" || policy == sched.None {
 		return nil, nil
@@ -344,6 +447,9 @@ func (c *Cluster) ComputeSchedule(policy string, warmupIters int, seed int64) (*
 		return oo.OrderWithOracle(c.ReferenceWorker(), oracle)
 	}
 	plat := c.Config.Platform
+	if c.Config.Platforms != nil {
+		plat = c.Config.Platforms.For(WorkerDevice(0))
+	}
 	return p.Order(c.ReferenceWorker(), &plat)
 }
 
@@ -358,7 +464,7 @@ func (c *Cluster) TraceRuns(warmupIters int, seed int64) (*timing.Tracer, error)
 	tracer := timing.NewTracer()
 	for i := 0; i < warmupIters; i++ {
 		_, err := sim.Run(c.Graph, sim.Config{
-			Oracle: c.Config.Platform.Oracle(),
+			Oracle: c.oracle(),
 			Seed:   seed + int64(i),
 			Jitter: c.Config.Platform.Jitter,
 			Tracer: tracer,
@@ -375,7 +481,7 @@ func (c *Cluster) TraceRuns(warmupIters int, seed int64) (*timing.Tracer, error)
 // min of 5 runs).
 func (c *Cluster) OracleFromTrace(tracer *timing.Tracer, kind timing.EstimateKind) timing.Oracle {
 	// Trace names carry the worker prefix; rekey to reference names.
-	est := tracer.Estimator(kind, c.Config.Platform.Oracle())
+	est := tracer.Estimator(kind, c.oracle())
 	return timing.OracleFunc(func(op *graph.Op) float64 {
 		probe := *op
 		probe.Name = "w0/" + op.Name

@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+// An override-free PlatformMap must be a bit-identical no-op: the
+// acceptance bar for the heterogeneity subsystem is that the homogeneous
+// configuration reproduces the existing shootout numbers exactly.
+func TestPlatformMapSingleEntryIsNoOp(t *testing.T) {
+	cfg := smallConfig(3, 2, model.Training)
+	homog, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Platforms = timing.NewPlatformMap(timing.EnvG())
+	hetero, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := Experiment{Warmup: 1, Measure: 4}
+	for _, policy := range []string{"none", "tic", "tac"} {
+		sa, err := homog.ComputeSchedule(policy, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := hetero.ComputeSchedule(policy, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("%s: schedules differ between homogeneous and single-entry map", policy)
+		}
+		a, err := homog.Run(exp, RunOptions{Schedule: sa, Seed: 7, Jitter: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := hetero.Run(exp, RunOptions{Schedule: sb, Seed: 7, Jitter: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.MeanMakespan != b.MeanMakespan || a.MeanThroughput != b.MeanThroughput ||
+			a.MaxStragglerPct != b.MaxStragglerPct || a.MeanEfficiency != b.MeanEfficiency {
+			t.Fatalf("%s: outcomes differ: %+v vs %+v", policy, a, b)
+		}
+		for i := range a.Iterations {
+			if !reflect.DeepEqual(a.Iterations[i].RecvOrder, b.Iterations[i].RecvOrder) {
+				t.Fatalf("%s: iteration %d recv orders differ", policy, i)
+			}
+		}
+	}
+}
+
+// Build normalizes Platform vs Platforms.Default: either may be set, and a
+// conflicting pair is rejected.
+func TestBuildPlatformMapNormalization(t *testing.T) {
+	cfg := smallConfig(2, 1, model.Training)
+	// Platforms.Default zero: inherits Platform.
+	cfg.Platforms = &timing.PlatformMap{}
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config.Platforms.Default != timing.EnvG() {
+		t.Fatalf("default not inherited: %+v", c.Config.Platforms.Default)
+	}
+	// Platform zero: inherits Platforms.Default.
+	cfg = smallConfig(2, 1, model.Training)
+	cfg.Platform = timing.Platform{}
+	cfg.Platforms = timing.NewPlatformMap(timing.EnvC())
+	c, err = Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config.Platform != timing.EnvC() {
+		t.Fatalf("platform not inherited: %+v", c.Config.Platform)
+	}
+	// Both set but different: ambiguous, rejected.
+	cfg = smallConfig(2, 1, model.Training)
+	cfg.Platforms = timing.NewPlatformMap(timing.EnvC())
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("conflicting Platform/Platforms.Default accepted")
+	}
+	// Build clones the map: caller mutations after Build don't leak in.
+	pm := timing.NewPlatformMap(timing.EnvG())
+	cfg = smallConfig(2, 1, model.Training)
+	cfg.Platforms = pm
+	c, err = Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm.SetDevice(WorkerDevice(0), timing.EnvG().SlowedCompute(100))
+	if len(c.Config.Platforms.Devices) != 0 {
+		t.Fatal("Build aliased the caller's PlatformMap")
+	}
+}
+
+// Override keys are validated against the devices and channels the
+// configuration actually builds.
+func TestBuildRejectsUnknownOverrideKeys(t *testing.T) {
+	cfg := smallConfig(2, 1, model.Training)
+	cfg.Platforms = timing.NewPlatformMap(timing.EnvG()).
+		SetDevice("worker:9", timing.EnvG())
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("unknown device override accepted")
+	}
+	cfg.Platforms = timing.NewPlatformMap(timing.EnvG()).
+		SetChannel("worker:9/net:ps:0", timing.ChannelCost{Bandwidth: 1e6})
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("unknown channel override accepted")
+	}
+	// Per-pair channel keys are invalid in shared-NIC mode and vice versa.
+	cfg.Platforms = timing.NewPlatformMap(timing.EnvG()).
+		SetChannel(ChannelResource(0, 0), timing.ChannelCost{Bandwidth: 1e6})
+	cfg.SharedPSNIC = true
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("per-pair channel key accepted in shared-NIC mode")
+	}
+	cfg.Platforms = timing.NewPlatformMap(timing.EnvG()).
+		SetChannel(PSDevice(0)+"/net", timing.ChannelCost{Bandwidth: 1e6})
+	if _, err := Build(cfg); err != nil {
+		t.Fatalf("shared-NIC channel key rejected: %v", err)
+	}
+	// Degenerate device overrides are rejected like degenerate platforms.
+	cfg = smallConfig(2, 1, model.Training)
+	cfg.Platforms = timing.NewPlatformMap(timing.EnvG()).
+		SetDevice(WorkerDevice(0), timing.Platform{})
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("zero device override accepted")
+	}
+}
+
+// A statically slow worker dominates the synchronized iteration: makespan
+// grows and the straggler metric points at the wait it causes.
+func TestStaticSlowWorkerRaisesStragglerPct(t *testing.T) {
+	cfg := smallConfig(4, 1, model.Training)
+	homog, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Platforms = timing.NewPlatformMap(timing.EnvG()).
+		SetDevice(WorkerDevice(0), timing.EnvG().SlowedCompute(8))
+	hetero, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := Experiment{Warmup: 1, Measure: 4}
+	a, err := homog.Run(exp, RunOptions{Seed: 3, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hetero.Run(exp, RunOptions{Seed: 3, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MeanMakespan <= a.MeanMakespan {
+		t.Fatalf("slow worker did not slow the iteration: %v <= %v", b.MeanMakespan, a.MeanMakespan)
+	}
+	if b.MaxStragglerPct <= a.MaxStragglerPct {
+		t.Fatalf("straggler pct %v not above homogeneous %v", b.MaxStragglerPct, a.MaxStragglerPct)
+	}
+}
+
+// An asymmetric channel slows only the worker behind it.
+func TestAsymmetricChannelSlowsOneWorker(t *testing.T) {
+	cfg := smallConfig(2, 1, model.Training)
+	cfg.Platforms = timing.NewPlatformMap(timing.EnvG()).
+		SetChannel(ChannelResource(1, 0), timing.ChannelCost{Bandwidth: timing.EnvG().NetBandwidth / 16})
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := c.RunIteration(RunOptions{Seed: 5, Jitter: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.WorkerFinish[1] <= it.WorkerFinish[0] {
+		t.Fatalf("worker behind the congested link finished first: %v", it.WorkerFinish)
+	}
+}
+
+// Transient stragglers hit exactly their iteration window.
+func TestTransientStragglerWindow(t *testing.T) {
+	cfg := smallConfig(2, 1, model.Training)
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straggle := []Straggler{{Worker: 0, Factor: 6, From: 1, Until: 2}}
+	var clean, slowed []float64
+	for iter := 0; iter < 3; iter++ {
+		base, err := c.RunIteration(RunOptions{Seed: 9, Jitter: 0, Iteration: iter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj, err := c.RunIteration(RunOptions{Seed: 9, Jitter: 0, Iteration: iter, Stragglers: straggle})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean = append(clean, base.Makespan)
+		slowed = append(slowed, inj.Makespan)
+	}
+	// Outside the window the injection is a bit-identical no-op.
+	if slowed[0] != clean[0] || slowed[2] != clean[2] {
+		t.Fatalf("straggler leaked outside [1,2): clean=%v slowed=%v", clean, slowed)
+	}
+	if slowed[1] <= clean[1] {
+		t.Fatalf("straggler inactive inside its window: %v <= %v", slowed[1], clean[1])
+	}
+
+	// Until <= From means open-ended.
+	open := Straggler{Worker: 0, Factor: 2, From: 3}
+	if open.active(2) || !open.active(3) || !open.active(1000) {
+		t.Fatal("open-ended window semantics")
+	}
+
+	// An out-of-range worker index is an error, not a silent no-op.
+	for _, w := range []int{-1, 2} {
+		_, err := c.RunIteration(RunOptions{Seed: 1, Jitter: 0,
+			Stragglers: []Straggler{{Worker: w, Factor: 2}}})
+		if err == nil {
+			t.Fatalf("straggler worker %d accepted on a 2-worker cluster", w)
+		}
+	}
+}
+
+// Contention slows transfers on every channel during its window, and the
+// Run protocol stamps the iteration index so windows line up with the
+// warmup/measure sequence.
+func TestContentionAndRunStampsIteration(t *testing.T) {
+	cfg := smallConfig(2, 1, model.Training)
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := Experiment{Warmup: 1, Measure: 3}
+	base, err := c.Run(exp, RunOptions{Seed: 11, Jitter: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contention only during measured iterations 2 and 3 (global indices).
+	cont, err := c.Run(exp, RunOptions{Seed: 11, Jitter: 0,
+		Contention: []Contention{{Factor: 8, From: 2, Until: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured iteration 0 (global index 1) is untouched — bit-identical.
+	if cont.Iterations[0].Makespan != base.Iterations[0].Makespan {
+		t.Fatalf("contention leaked into iteration 1: %v vs %v",
+			cont.Iterations[0].Makespan, base.Iterations[0].Makespan)
+	}
+	for i := 1; i < 3; i++ {
+		if cont.Iterations[i].Makespan <= base.Iterations[i].Makespan {
+			t.Fatalf("contention inactive in measured iteration %d", i)
+		}
+	}
+}

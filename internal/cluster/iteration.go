@@ -39,6 +39,47 @@ func (it Iteration) Throughput(batch, workers int) float64 {
 	return float64(batch*workers) / it.Makespan
 }
 
+// Straggler slows one worker for a contiguous window of iterations,
+// modelling a transient hardware or co-tenancy slowdown (thermal
+// throttling, a noisy neighbour). It scales the duration of the worker's
+// device-local ops — compute, not transfers; use Contention or a
+// PlatformMap channel override to slow the network.
+type Straggler struct {
+	// Worker is the index of the slowed worker.
+	Worker int
+	// Factor multiplies every affected op's duration (>1 = slower).
+	// Factors <= 0 and 1 are no-ops.
+	Factor float64
+	// From is the first affected iteration index, counted across the
+	// experiment protocol including warmup (Run numbers iterations 0..N-1
+	// and stamps RunOptions.Iteration).
+	From int
+	// Until is the first unaffected iteration again; Until <= From means
+	// the slowdown never ends once it starts.
+	Until int
+}
+
+// active reports whether the window covers the given iteration index.
+func (s Straggler) active(iter int) bool {
+	return iter >= s.From && (s.Until <= s.From || iter < s.Until)
+}
+
+// Contention models background network traffic: every channel transfer's
+// duration is multiplied by Factor during iterations [From, Until), with
+// the same window semantics as Straggler.
+type Contention struct {
+	// Factor multiplies transfer durations (>1 = slower network).
+	Factor float64
+	// From is the first affected iteration (inclusive).
+	From int
+	// Until is the first unaffected iteration; <= From means open-ended.
+	Until int
+}
+
+func (c Contention) active(iter int) bool {
+	return iter >= c.From && (c.Until <= c.From || iter < c.Until)
+}
+
 // RunOptions controls a measured run.
 type RunOptions struct {
 	// Schedule enforces transfer priorities (nil = baseline).
@@ -50,20 +91,70 @@ type RunOptions struct {
 	Jitter float64
 	// ReorderProb injects gRPC-style priority inversions.
 	ReorderProb float64
+	// Iteration is this iteration's index within the experiment protocol;
+	// it selects which Straggler and Contention windows are active. Run
+	// stamps it (warmup included); set it only when calling RunIteration
+	// directly.
+	Iteration int
+	// Stragglers injects transient per-worker compute slowdowns.
+	Stragglers []Straggler
+	// Contention injects background network-contention windows.
+	Contention []Contention
+}
+
+// costScale folds the straggler and contention windows active at this
+// iteration into a per-op duration multiplier for the simulator, or nil
+// when nothing is active (keeping the uninjected path bit-identical).
+func (c *Cluster) costScale(opts RunOptions) func(op *graph.Op) float64 {
+	deviceFactor := make(map[string]float64)
+	for _, s := range opts.Stragglers {
+		if s.Factor <= 0 || s.Factor == 1 || !s.active(opts.Iteration) {
+			continue
+		}
+		dev := WorkerDevice(s.Worker)
+		if deviceFactor[dev] == 0 {
+			deviceFactor[dev] = 1
+		}
+		deviceFactor[dev] *= s.Factor
+	}
+	net := 1.0
+	for _, cn := range opts.Contention {
+		if cn.Factor > 0 && cn.Factor != 1 && cn.active(opts.Iteration) {
+			net *= cn.Factor
+		}
+	}
+	if len(deviceFactor) == 0 && net == 1 {
+		return nil
+	}
+	return func(op *graph.Op) float64 {
+		if op.Kind == graph.Recv || op.Kind == graph.Send {
+			return net
+		}
+		if f, ok := deviceFactor[op.Device]; ok {
+			return f
+		}
+		return 1
+	}
 }
 
 // RunIteration simulates one synchronized iteration.
 func (c *Cluster) RunIteration(opts RunOptions) (*Iteration, error) {
+	for _, s := range opts.Stragglers {
+		if s.Worker < 0 || s.Worker >= c.Config.Workers {
+			return nil, fmt.Errorf("cluster: straggler worker %d out of range [0, %d)", s.Worker, c.Config.Workers)
+		}
+	}
 	jitter := opts.Jitter
 	if jitter < 0 {
 		jitter = c.Config.Platform.Jitter
 	}
 	res, err := sim.Run(c.Graph, sim.Config{
-		Oracle:      c.Config.Platform.Oracle(),
+		Oracle:      c.oracle(),
 		Schedule:    opts.Schedule,
 		Seed:        opts.Seed,
 		Jitter:      jitter,
 		ReorderProb: opts.ReorderProb,
+		CostScale:   c.costScale(opts),
 	})
 	if err != nil {
 		return nil, err
@@ -164,6 +255,7 @@ func (c *Cluster) Run(exp Experiment, opts RunOptions) (*Outcome, error) {
 	for i := 0; i < exp.Warmup+exp.Measure; i++ {
 		iterOpts := opts
 		iterOpts.Seed = opts.Seed + int64(i)*7919 // distinct per-iteration stream
+		iterOpts.Iteration = i                    // straggler/contention windows index off this
 		it, err := c.RunIteration(iterOpts)
 		if err != nil {
 			return nil, err

@@ -2,6 +2,8 @@ package psrt
 
 import (
 	"fmt"
+	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -87,5 +89,88 @@ func TestRealStackInversionInjection(t *testing.T) {
 	}
 	if lightRate > rate {
 		t.Fatalf("light rate %v above heavy rate %v", lightRate, rate)
+	}
+}
+
+// Regression for the correlated-RNG bug: every connection's writeLoop used
+// to seed its inversion RNG with the same ReorderSeed+1, so all workers
+// drew identical inversion decisions. The per-connection derivation must
+// yield distinct, decorrelated streams.
+func TestReorderSeedDistinctPerConnection(t *testing.T) {
+	const base = 7
+	seen := map[int64]bool{}
+	for conn := int64(1); conn <= 64; conn++ {
+		s := reorderSeed(base, conn)
+		if seen[s] {
+			t.Fatalf("connection %d reuses another connection's seed", conn)
+		}
+		seen[s] = true
+	}
+	// The first draws of consecutive connections' streams must not track
+	// each other (the old code made them identical).
+	a := rand.New(rand.NewSource(reorderSeed(base, 1)))
+	b := rand.New(rand.NewSource(reorderSeed(base, 2)))
+	same := 0
+	for i := 0; i < 64; i++ {
+		// Compare the inversion decision at the paper's ~0.5% regime and a
+		// heavy 50% regime; correlated streams agree on all of them.
+		if (a.Float64() < 0.5) == (b.Float64() < 0.5) {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("connections 1 and 2 share one inversion stream")
+	}
+}
+
+// Two workers pulling under heavy injection must see different inversion
+// patterns — the observable consequence of per-connection streams.
+func TestWorkersSeeDifferentInversionPatterns(t *testing.T) {
+	const nParams = 16
+	const iters = 20
+	params := map[string][]float32{}
+	var order []string
+	for i := nParams - 1; i >= 0; i-- {
+		name := fmt.Sprintf("p%02d", i)
+		params[name] = []float32{float32(i)}
+		order = append(order, name)
+	}
+	s, err := Serve(params, ServerConfig{
+		Workers:     2,
+		Schedule:    testSchedule(order...),
+		ReorderProb: 0.5,
+		ReorderSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	names := make([]string, 0, nParams)
+	for n := range params {
+		names = append(names, n)
+	}
+	arrivals := make([][]string, 2)
+	for w := 0; w < 2; w++ {
+		c, err := Dial(s.Addr(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for iter := 0; iter < iters; iter++ {
+			_, got, err := c.PullAll(iter, names)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arrivals[w] = append(arrivals[w], got...)
+		}
+		c.Close()
+	}
+	// 20 iterations × ~15 inversion decisions at p=0.5: independent streams
+	// coincide with probability ~2^-300.
+	if reflect.DeepEqual(arrivals[0], arrivals[1]) {
+		t.Fatal("both workers observed the identical inversion pattern")
+	}
+	if s.Inversions() == 0 {
+		t.Fatal("no inversions injected")
 	}
 }

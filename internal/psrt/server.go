@@ -31,6 +31,11 @@ type ServerConfig struct {
 	// paper measured at 0.4–0.5% (§5.1). Only meaningful with a Schedule.
 	ReorderProb float64
 	// ReorderSeed seeds the inversion draws (0 = fixed default stream).
+	// Each connection derives its own stream from this seed and its accept
+	// order, so patterns are decorrelated across workers; with multiple
+	// workers dialing concurrently the per-worker assignment of streams
+	// follows OS accept order and is not reproducible run-to-run (the
+	// aggregate inversion rate is unaffected).
 	ReorderSeed int64
 }
 
@@ -48,9 +53,10 @@ type Server struct {
 	inversions  int // injected out-of-order dispatches
 	closed      bool
 
-	ln    net.Listener
-	conns map[net.Conn]bool
-	wg    sync.WaitGroup
+	ln      net.Listener
+	conns   map[net.Conn]bool
+	connSeq int64 // connections accepted so far; numbers each reorder stream
+	wg      sync.WaitGroup
 }
 
 // Serve starts a server on 127.0.0.1 (port chosen by the kernel) hosting
@@ -162,9 +168,11 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = true
+		s.connSeq++
+		id := s.connSeq
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.handleConn(conn)
+		go s.handleConn(conn, id)
 	}
 }
 
@@ -180,7 +188,7 @@ type pendingResponses struct {
 	closed    bool
 }
 
-func (s *Server) handleConn(conn net.Conn) {
+func (s *Server) handleConn(conn net.Conn, id int64) {
 	defer s.wg.Done()
 	defer conn.Close()
 	pending := &pendingResponses{
@@ -200,7 +208,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		s.writeLoop(enc, pending)
+		s.writeLoop(enc, pending, id)
 	}()
 
 	dec := gob.NewDecoder(conn)
@@ -302,13 +310,26 @@ func enqueue(p *pendingResponses, msg *message, ordered bool) {
 	p.mu.Unlock()
 }
 
+// reorderSeed mixes the configured base seed with a connection number
+// (splitmix64 finalizer) so every connection draws inversions from its own
+// stream. Seeding every writeLoop with the same value would synchronize
+// inversion draws across all workers and connections — a correlated error
+// model the paper's per-worker gRPC queues don't have.
+func reorderSeed(base, conn int64) int64 {
+	z := uint64(base) + uint64(conn)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // writeLoop hands transfers to the connection in enforced order: control
 // messages flow FIFO; with a schedule, parameter transfers wait until the
 // per-worker counter reaches their normalized priority number. A non-zero
 // ReorderProb occasionally dispatches a different pending transfer first,
-// modelling the RPC queue inversions of §5.1.
-func (s *Server) writeLoop(enc *gob.Encoder, p *pendingResponses) {
-	rng := rand.New(rand.NewSource(s.cfg.ReorderSeed + 1))
+// modelling the RPC queue inversions of §5.1; conn numbers this
+// connection's independent inversion stream.
+func (s *Server) writeLoop(enc *gob.Encoder, p *pendingResponses, conn int64) {
+	rng := rand.New(rand.NewSource(reorderSeed(s.cfg.ReorderSeed, conn)))
 	for {
 		p.mu.Lock()
 		var msg *message

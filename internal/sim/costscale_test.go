@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"tictac/internal/graph"
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+// A nil CostScale and a constant factor of 1 must produce bit-identical
+// results — the hook may not perturb the RNG stream or the float arithmetic
+// of an uninjected run.
+func TestCostScaleIdentityIsNoOp(t *testing.T) {
+	spec, _ := model.ByName("AlexNet v2")
+	g, err := model.BuildWorker(spec, model.Training, spec.Batch, "worker:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := timing.EnvG()
+	base, err := Run(g, Config{Oracle: plat.Oracle(), Seed: 5, Jitter: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := Run(g, Config{
+		Oracle:    plat.Oracle(),
+		Seed:      5,
+		Jitter:    0.05,
+		CostScale: func(op *graph.Op) float64 { return 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Makespan != scaled.Makespan {
+		t.Fatalf("makespan %v != %v", base.Makespan, scaled.Makespan)
+	}
+	if !reflect.DeepEqual(base.RecvStartOrder, scaled.RecvStartOrder) {
+		t.Fatal("recv orders differ under identity CostScale")
+	}
+	if !reflect.DeepEqual(base.DeviceFinish, scaled.DeviceFinish) {
+		t.Fatal("device finishes differ under identity CostScale")
+	}
+}
+
+// Scaling every op by a constant scales the whole timeline by that constant
+// (no jitter, no randomness in a single-resource chain).
+func TestCostScaleUniformFactorScalesMakespan(t *testing.T) {
+	g, oracle := figure1()
+	base, err := Run(g, Config{Oracle: oracle, Schedule: sched("recv1", "recv2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := Run(g, Config{
+		Oracle:    oracle,
+		Schedule:  sched("recv1", "recv2"),
+		CostScale: func(op *graph.Op) float64 { return 2.5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scaled.Makespan-2.5*base.Makespan) > 1e-9 {
+		t.Fatalf("scaled makespan %v, want %v", scaled.Makespan, 2.5*base.Makespan)
+	}
+}
+
+// Selective scaling: slowing only the transfers of the Figure 1 DAG turns
+// the good order's makespan from compute-bound (5) into transfer-bound.
+func TestCostScaleSelectiveByKind(t *testing.T) {
+	g, oracle := figure1()
+	res, err := Run(g, Config{
+		Oracle:   oracle,
+		Schedule: sched("recv1", "recv2"),
+		CostScale: func(op *graph.Op) float64 {
+			if op.Kind == graph.Recv {
+				return 4
+			}
+			return 1
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// recv1 now takes 4, op1 runs [4,7); recv2 finishes at 8, op2 at 9.
+	if math.Abs(res.Makespan-9) > 1e-9 {
+		t.Fatalf("makespan = %v, want 9", res.Makespan)
+	}
+}

@@ -41,6 +41,13 @@ type Config struct {
 	// second-highest-priority ready transfer instead of the first,
 	// modelling the gRPC queue inversions observed in §5.1 (≈0.5%).
 	ReorderProb float64
+	// CostScale, when non-nil, multiplies each op's oracle duration by a
+	// per-op factor before jitter is applied — the injection point for
+	// transient stragglers and background network contention (see
+	// cluster.RunOptions). It must be a pure function; it is consulted once
+	// per op and never advances the run's RNG stream, so a nil CostScale
+	// and a constant factor of 1 produce bit-identical results.
+	CostScale func(op *graph.Op) float64
 	// Tracer, when non-nil, records every op's simulated duration, feeding
 	// the time-oracle estimator exactly like the paper's tracing module.
 	Tracer *timing.Tracer
@@ -110,32 +117,35 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	scheduled := 0
 
 	dispatch := func(ri int) {
-		for !busy[ri] && len(ready[ri]) > 0 {
-			op, reordered := pick(ready[ri], cfg, rng)
-			ready[ri] = remove(ready[ri], op)
-			if reordered {
-				res.ReorderEvents++
-			}
-			dur := cfg.Oracle.Time(op)
-			if cfg.Jitter > 0 {
-				factor := 1 + cfg.Jitter*rng.NormFloat64()
-				if factor < 0.05 {
-					factor = 0.05
-				}
-				dur *= factor
-			}
-			if cfg.Tracer != nil {
-				cfg.Tracer.Record(op.Name, dur)
-			}
-			if op.Kind == graph.Recv {
-				res.RecvStartOrder[op.Device] = append(res.RecvStartOrder[op.Device], core.Key(op))
-			}
-			busy[ri] = true
-			events.push(event{at: now + dur, seq: seq, op: op, res: ri, start: now})
-			seq++
-			scheduled++
-			return // one op per dispatch; resource now busy
+		if busy[ri] || len(ready[ri]) == 0 {
+			return
 		}
+		op, reordered := pick(ready[ri], cfg, rng)
+		ready[ri] = remove(ready[ri], op)
+		if reordered {
+			res.ReorderEvents++
+		}
+		dur := cfg.Oracle.Time(op)
+		if cfg.CostScale != nil {
+			dur *= cfg.CostScale(op)
+		}
+		if cfg.Jitter > 0 {
+			factor := 1 + cfg.Jitter*rng.NormFloat64()
+			if factor < 0.05 {
+				factor = 0.05
+			}
+			dur *= factor
+		}
+		if cfg.Tracer != nil {
+			cfg.Tracer.Record(op.Name, dur)
+		}
+		if op.Kind == graph.Recv {
+			res.RecvStartOrder[op.Device] = append(res.RecvStartOrder[op.Device], core.Key(op))
+		}
+		busy[ri] = true
+		events.push(event{at: now + dur, seq: seq, op: op, res: ri, start: now})
+		seq++
+		scheduled++
 	}
 	for ri := range resNames {
 		dispatch(ri)
@@ -201,12 +211,19 @@ func pick(ready []*graph.Op, cfg Config, rng *rand.Rand) (*graph.Op, bool) {
 	if best == nil {
 		return unprioritized[rng.Intn(len(unprioritized))], false
 	}
-	// Injected gRPC-style inversion: dispatch the runner-up.
-	if second != nil && cfg.ReorderProb > 0 && rng.Float64() < cfg.ReorderProb {
+	// Injected gRPC-style inversion: dispatch the runner-up. Only network
+	// transfers invert — the phenomenon lives in the RPC layer (§5.1), so
+	// prioritized PS-side ops (which share the parameter's schedule key)
+	// must not draw from the inversion stream.
+	if second != nil && cfg.ReorderProb > 0 && isTransfer(best) && rng.Float64() < cfg.ReorderProb {
 		return second, true
 	}
 	candidates := append(unprioritized, best)
 	return candidates[rng.Intn(len(candidates))], false
+}
+
+func isTransfer(op *graph.Op) bool {
+	return op.Kind == graph.Recv || op.Kind == graph.Send
 }
 
 func mustPos(s *core.Schedule, op *graph.Op) int {

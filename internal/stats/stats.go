@@ -20,21 +20,24 @@ type Summary struct {
 }
 
 // Summarize computes a Summary of xs. It returns a zero Summary for an empty
-// sample.
+// sample. It sorts one copy of the sample and derives min, median and max
+// from it, rather than scanning for the extremes and re-sorting inside
+// Percentile.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:      len(xs),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: sortedPercentile(sorted, 50),
+	}
 	sum := 0.0
 	for _, x := range xs {
 		sum += x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
 	}
 	s.Mean = sum / float64(len(xs))
 	varSum := 0.0
@@ -43,7 +46,6 @@ func Summarize(xs []float64) Summary {
 		varSum += d * d
 	}
 	s.Std = math.Sqrt(varSum / float64(len(xs)))
-	s.Median = Percentile(xs, 50)
 	return s
 }
 
@@ -74,6 +76,11 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return sortedPercentile(sorted, p)
+}
+
+// sortedPercentile is Percentile over an already-sorted non-empty sample.
+func sortedPercentile(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSummarizeMatchesNaive pins the single-sort Summarize to the
+// pre-optimization semantics: min/max found by scanning and the median
+// from a separate Percentile call must be reproduced bit-for-bit.
+func TestSummarizeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * float64(1+rng.Intn(100))
+		}
+		got := Summarize(xs)
+		// The reference values, computed the way the old implementation did.
+		wantMin, wantMax := xs[0], xs[0]
+		for _, x := range xs {
+			if x < wantMin {
+				wantMin = x
+			}
+			if x > wantMax {
+				wantMax = x
+			}
+		}
+		wantMedian := Percentile(xs, 50)
+		if got.Min != wantMin || got.Max != wantMax || got.Median != wantMedian {
+			t.Fatalf("trial %d: got min=%v max=%v p50=%v, want %v/%v/%v",
+				trial, got.Min, got.Max, got.Median, wantMin, wantMax, wantMedian)
+		}
+		if got.N != n {
+			t.Fatalf("trial %d: N = %d", trial, got.N)
+		}
+	}
+	// Summarize must not reorder the caller's slice.
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Summarize mutated its input: %v", xs)
+	}
+}
+
+// benchSink defeats dead-code elimination in the benchmarks.
+var benchSink Summary
+
+func benchmarkSummarize(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = Summarize(xs)
+	}
+}
+
+func BenchmarkSummarize100(b *testing.B)   { benchmarkSummarize(b, 100) }
+func BenchmarkSummarize10000(b *testing.B) { benchmarkSummarize(b, 10000) }

@@ -1,0 +1,147 @@
+package timing
+
+import "tictac/internal/graph"
+
+// ChannelCost overrides the network cost model of one channel resource,
+// making individual worker↔PS links asymmetric (a congested rack uplink, a
+// cross-zone hop). Zero fields inherit from the platform the transfer's
+// device resolves to.
+type ChannelCost struct {
+	// Bandwidth is the channel throughput in bytes/s (0 = inherit).
+	Bandwidth float64
+	// Latency is the fixed per-transfer setup cost in seconds (0 = inherit).
+	Latency float64
+}
+
+// PlatformMap is a heterogeneous cost model: a default Platform plus
+// per-device Platform overrides and per-channel network overrides. It plays
+// the role of a mixed-hardware cluster — most devices run the Default
+// profile, while named devices (a slow worker, a beefier PS) and named
+// channels carry their own costs.
+//
+// Resolution is two-level: an op's duration comes from the Platform its
+// Device maps to (Devices, falling back to Default); for transfers, a
+// ChannelCost entry keyed by the op's Resource then overrides that
+// platform's bandwidth/latency. A PlatformMap with no overrides falls
+// through to Default.Cost with the exact same arithmetic, so the
+// homogeneous configuration is a bit-identical no-op.
+//
+// Like Platform, a PlatformMap is treated as immutable after construction:
+// Cost and Oracle only read it, so one map may serve any number of
+// concurrent simulator runs. Mutate it only between Build and the first
+// run — or not at all.
+//
+// A device override's Jitter field is ignored: measurement noise stays a
+// single per-run knob (the default platform's Jitter, or the explicit
+// sim/cluster jitter option), because Cost models dedicated-resource time
+// and jitter is applied by the executor.
+type PlatformMap struct {
+	// Default is the profile of every device without an override.
+	Default Platform
+	// Devices maps device tags (e.g. "worker:0", "ps:1") to their profile.
+	Devices map[string]Platform
+	// Channels maps channel resource names (e.g. "worker:0/net:ps:0", or
+	// "ps:0/net" in shared-NIC mode) to their network overrides.
+	Channels map[string]ChannelCost
+}
+
+// NewPlatformMap returns a heterogeneous cost model whose every device runs
+// the given default platform until overridden.
+func NewPlatformMap(def Platform) *PlatformMap {
+	return &PlatformMap{
+		Default:  def,
+		Devices:  make(map[string]Platform),
+		Channels: make(map[string]ChannelCost),
+	}
+}
+
+// SetDevice overrides one device's platform profile and returns the map for
+// chaining.
+func (m *PlatformMap) SetDevice(device string, p Platform) *PlatformMap {
+	if m.Devices == nil {
+		m.Devices = make(map[string]Platform)
+	}
+	m.Devices[device] = p
+	return m
+}
+
+// SetChannel overrides one channel's network cost and returns the map for
+// chaining.
+func (m *PlatformMap) SetChannel(resource string, c ChannelCost) *PlatformMap {
+	if m.Channels == nil {
+		m.Channels = make(map[string]ChannelCost)
+	}
+	m.Channels[resource] = c
+	return m
+}
+
+// Clone returns a deep copy of the map (the Platform values are plain
+// values; only the override maps need copying).
+func (m *PlatformMap) Clone() *PlatformMap {
+	c := NewPlatformMap(m.Default)
+	for d, p := range m.Devices {
+		c.Devices[d] = p
+	}
+	for r, cc := range m.Channels {
+		c.Channels[r] = cc
+	}
+	return c
+}
+
+// For resolves the platform profile of a device tag.
+func (m *PlatformMap) For(device string) Platform {
+	if p, ok := m.Devices[device]; ok {
+		return p
+	}
+	return m.Default
+}
+
+// Cost returns the dedicated-resource execution time of op under the
+// heterogeneous model: the op's device selects the platform, and for
+// transfers a channel override may replace that platform's bandwidth and
+// latency before delegating to Platform.Cost (so the transfer formula
+// lives in exactly one place).
+func (m *PlatformMap) Cost(op *graph.Op) float64 {
+	p := m.For(op.Device)
+	if op.Kind == graph.Recv || op.Kind == graph.Send {
+		if cc, ok := m.Channels[op.Resource]; ok {
+			if cc.Bandwidth > 0 {
+				p.NetBandwidth = cc.Bandwidth
+			}
+			if cc.Latency > 0 {
+				p.NetLatency = cc.Latency
+			}
+		}
+	}
+	return p.Cost(op)
+}
+
+// Oracle returns the exact-cost oracle of the heterogeneous model.
+func (m *PlatformMap) Oracle() Oracle {
+	return OracleFunc(m.Cost)
+}
+
+// SlowedCompute returns a copy of the platform whose compute resource is k×
+// slower (throughput divided, per-op overhead multiplied) — the profile of
+// a straggling or lower-bin device. k <= 0 or k == 1 returns the platform
+// unchanged.
+func (p Platform) SlowedCompute(k float64) Platform {
+	if k <= 0 || k == 1 {
+		return p
+	}
+	p.ComputeFLOPS /= k
+	p.ComputeOverhead *= k
+	return p
+}
+
+// SlowedNet returns a copy of the platform whose network channels are k×
+// slower (bandwidth divided, latency multiplied). k <= 0 or k == 1 returns
+// the platform unchanged.
+func (p Platform) SlowedNet(k float64) Platform {
+	if k <= 0 || k == 1 {
+		return p
+	}
+	p.NetBandwidth /= k
+	p.NetLatency *= k
+	return p
+}

@@ -1,0 +1,130 @@
+package timing
+
+import (
+	"testing"
+
+	"tictac/internal/graph"
+)
+
+func mkDevOp(kind graph.Kind, device, resource string, bytes, flops int64) *graph.Op {
+	g := graph.New()
+	op := g.MustAddOp("x", kind)
+	op.Device, op.Resource = device, resource
+	op.Bytes, op.FLOPs = bytes, flops
+	return op
+}
+
+// A PlatformMap without overrides must be cost-identical to its default
+// platform — bit-identical floats, not just approximately equal. The
+// homogeneous bench configurations rely on this no-op property.
+func TestPlatformMapNoOverridesIsNoOp(t *testing.T) {
+	m := NewPlatformMap(EnvG())
+	def := EnvG()
+	ops := []*graph.Op{
+		mkDevOp(graph.Compute, "worker:0", "worker:0/compute", 0, 3e11),
+		mkDevOp(graph.Recv, "worker:1", "worker:1/net:ps:0", 25<<20, 0),
+		mkDevOp(graph.Send, "worker:2", "worker:2/net:ps:0", 4<<20, 0),
+		mkDevOp(graph.Aggregate, "ps:0", "ps:0/compute", 8<<20, 0),
+		mkDevOp(graph.Update, "ps:0", "ps:0/compute", 1<<20, 0),
+	}
+	for _, op := range ops {
+		if got, want := m.Cost(op), def.Cost(op); got != want {
+			t.Fatalf("%v: map cost %v != platform cost %v", op.Kind, got, want)
+		}
+		if got, want := m.Oracle().Time(op), def.Oracle().Time(op); got != want {
+			t.Fatalf("%v: oracle mismatch %v != %v", op.Kind, got, want)
+		}
+	}
+}
+
+func TestPlatformMapDeviceOverride(t *testing.T) {
+	slow := EnvG().SlowedCompute(4)
+	m := NewPlatformMap(EnvG()).SetDevice("worker:1", slow)
+	fast := mkDevOp(graph.Compute, "worker:0", "worker:0/compute", 0, 4e11)
+	slowOp := mkDevOp(graph.Compute, "worker:1", "worker:1/compute", 0, 4e11)
+	cf, cs := m.Cost(fast), m.Cost(slowOp)
+	if cs <= cf {
+		t.Fatalf("override not applied: slow %v <= fast %v", cs, cf)
+	}
+	// ×4 slower compute throughput quadruples the FLOP term exactly.
+	if want := slow.Cost(slowOp); cs != want {
+		t.Fatalf("slow cost %v != resolved platform cost %v", cs, want)
+	}
+	if got := m.For("worker:1"); got != slow {
+		t.Fatalf("For(worker:1) = %+v", got)
+	}
+	if got := m.For("worker:0"); got != m.Default {
+		t.Fatalf("For(worker:0) should fall back to default, got %+v", got)
+	}
+}
+
+func TestPlatformMapChannelOverride(t *testing.T) {
+	def := EnvG()
+	m := NewPlatformMap(def).SetChannel("worker:0/net:ps:0", ChannelCost{Bandwidth: def.NetBandwidth / 8})
+	congested := mkDevOp(graph.Recv, "worker:0", "worker:0/net:ps:0", 32<<20, 0)
+	clean := mkDevOp(graph.Recv, "worker:1", "worker:1/net:ps:0", 32<<20, 0)
+	if m.Cost(congested) <= m.Cost(clean) {
+		t.Fatal("channel override not applied")
+	}
+	// Latency inherited, bandwidth replaced.
+	want := def.NetLatency + float64(congested.Bytes)/(def.NetBandwidth/8)
+	if got := m.Cost(congested); got != want {
+		t.Fatalf("congested cost %v != %v", got, want)
+	}
+	// Channel overrides only touch transfers: a compute op sharing the
+	// resource name (pathological) keeps its platform cost.
+	comp := mkDevOp(graph.Compute, "worker:0", "worker:0/net:ps:0", 0, 1e11)
+	if got, want := m.Cost(comp), def.Cost(comp); got != want {
+		t.Fatalf("compute cost changed by channel override: %v != %v", got, want)
+	}
+	// Latency-only override.
+	m.SetChannel("worker:1/net:ps:0", ChannelCost{Latency: def.NetLatency * 50})
+	want = def.NetLatency*50 + float64(clean.Bytes)/def.NetBandwidth
+	if got := m.Cost(clean); got != want {
+		t.Fatalf("latency override cost %v != %v", got, want)
+	}
+}
+
+func TestPlatformMapClone(t *testing.T) {
+	m := NewPlatformMap(EnvG()).
+		SetDevice("worker:0", EnvG().SlowedCompute(2)).
+		SetChannel("worker:0/net:ps:0", ChannelCost{Bandwidth: 1e6})
+	c := m.Clone()
+	c.SetDevice("worker:1", EnvC())
+	c.SetChannel("worker:1/net:ps:0", ChannelCost{Latency: 1})
+	if len(m.Devices) != 1 || len(m.Channels) != 1 {
+		t.Fatalf("clone aliased the original: %d devices, %d channels", len(m.Devices), len(m.Channels))
+	}
+	if c.For("worker:0") != m.For("worker:0") {
+		t.Fatal("clone lost the device override")
+	}
+	// SetDevice/SetChannel also work on a zero-valued map.
+	var zero PlatformMap
+	zero.SetDevice("d", EnvC())
+	zero.SetChannel("r", ChannelCost{Bandwidth: 1})
+	if len(zero.Devices) != 1 || len(zero.Channels) != 1 {
+		t.Fatal("setters on zero map")
+	}
+}
+
+func TestSlowedHelpers(t *testing.T) {
+	p := EnvG()
+	s := p.SlowedCompute(3)
+	if s.ComputeFLOPS != p.ComputeFLOPS/3 || s.ComputeOverhead != p.ComputeOverhead*3 {
+		t.Fatalf("SlowedCompute: %+v", s)
+	}
+	if s.NetBandwidth != p.NetBandwidth {
+		t.Fatal("SlowedCompute touched the network")
+	}
+	n := p.SlowedNet(2)
+	if n.NetBandwidth != p.NetBandwidth/2 || n.NetLatency != p.NetLatency*2 {
+		t.Fatalf("SlowedNet: %+v", n)
+	}
+	if n.ComputeFLOPS != p.ComputeFLOPS {
+		t.Fatal("SlowedNet touched compute")
+	}
+	// k <= 0 and k == 1 are identity.
+	if p.SlowedCompute(0) != p || p.SlowedCompute(1) != p || p.SlowedNet(-2) != p {
+		t.Fatal("identity cases changed the platform")
+	}
+}

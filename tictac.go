@@ -77,6 +77,12 @@ type (
 
 	// Platform is an execution-environment cost model.
 	Platform = timing.Platform
+	// PlatformMap is a heterogeneous cost model: a default Platform plus
+	// per-device and per-channel overrides (see ClusterConfig.Platforms).
+	PlatformMap = timing.PlatformMap
+	// ChannelCost overrides one channel's bandwidth/latency in a
+	// PlatformMap.
+	ChannelCost = timing.ChannelCost
 	// Oracle predicts per-op execution times (§3.1).
 	Oracle = timing.Oracle
 	// OracleFunc adapts a function to Oracle.
@@ -95,6 +101,11 @@ type (
 	Cluster = cluster.Cluster
 	// RunOptions controls measured cluster runs.
 	RunOptions = cluster.RunOptions
+	// Straggler transiently slows one worker for a window of iterations.
+	Straggler = cluster.Straggler
+	// Contention injects background network contention for a window of
+	// iterations.
+	Contention = cluster.Contention
 	// Experiment is the warmup/measure protocol of §6.
 	Experiment = cluster.Experiment
 	// Outcome aggregates measured iterations.
@@ -173,6 +184,11 @@ func EnvG() Platform { return timing.EnvG() }
 
 // EnvC returns the CPU-cluster platform profile of the paper's evaluation.
 func EnvC() Platform { return timing.EnvC() }
+
+// NewPlatformMap returns a heterogeneous cost model whose every device
+// runs the given default platform until overridden with SetDevice /
+// SetChannel (see docs/hetero-scenarios.md).
+func NewPlatformMap(def Platform) *PlatformMap { return timing.NewPlatformMap(def) }
 
 // NewTracer returns an empty runtime tracer.
 func NewTracer() *Tracer { return timing.NewTracer() }
