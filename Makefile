@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet doc ci
+# Benchtime for `make perf`. Iteration counts (Nx) keep the artifact cheap
+# and deterministic in CI; raise locally (e.g. PERF_BENCHTIME=1s) for
+# publication-grade numbers.
+PERF_BENCHTIME ?= 50x
+
+.PHONY: all build test race bench fmt vet doc perf ci
 
 all: build
 
@@ -35,5 +40,16 @@ vet:
 # comments and malformed doc syntax).
 doc:
 	@for p in $$($(GO) list ./...); do $(GO) doc $$p >/dev/null || exit 1; done
+
+# Perf trajectory: run the simulator-core and cluster-protocol
+# microbenchmarks and emit BENCH_sim.json (ns/op + allocs/op per model,
+# reference vs runner). CI uploads the JSON as an artifact per commit.
+# Two steps, not a pipe: a bench compile error/panic/FAIL must fail the
+# target (sh has no pipefail), not be masked into an empty JSON array.
+perf:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimRun|BenchmarkClusterRun' -benchmem \
+		-benchtime $(PERF_BENCHTIME) ./internal/sim/ ./internal/cluster/ > BENCH_sim.txt
+	$(GO) run ./cmd/benchjson -o BENCH_sim.json < BENCH_sim.txt
+	@cat BENCH_sim.json
 
 ci: fmt vet doc build test bench

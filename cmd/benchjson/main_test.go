@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: tictac/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimRun/AlexNet_v2/reference-4         	      20	    575707 ns/op	  221024 B/op	     245 allocs/op
+BenchmarkSimRun/AlexNet_v2/runner-4            	      20	    198690 ns/op	   52247 B/op	       9 allocs/op
+BenchmarkClusterRun/Inception_v2-4             	      10	   25000000 ns/op	 1000000 B/op	     500 allocs/op
+PASS
+ok  	tictac/internal/sim	0.481s
+`
+
+func TestParseLine(t *testing.T) {
+	row, ok := parseLine("BenchmarkSimRun/AlexNet_v2/runner-4 \t 20 \t 198690 ns/op \t 52247 B/op \t 9 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if row.Benchmark != "BenchmarkSimRun" || row.Model != "AlexNet v2" || row.Variant != "runner" {
+		t.Fatalf("name split = %+v", row)
+	}
+	if row.Iters != 20 || row.NsPerOp != 198690 || row.BytesPerOp != 52247 || row.AllocsPerOp != 9 {
+		t.Fatalf("metrics = %+v", row)
+	}
+	// A benchmark without sub-names keeps only the benchmark field.
+	row, ok = parseLine("BenchmarkFoo-8   100   123.5 ns/op")
+	if !ok || row.Benchmark != "BenchmarkFoo" || row.Model != "" || row.NsPerOp != 123.5 {
+		t.Fatalf("plain benchmark = %+v, ok=%v", row, ok)
+	}
+	for _, line := range []string{"PASS", "ok  \ttictac\t0.1s", "pkg: tictac", "", "Benchmark (no result)"} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("non-result line parsed as benchmark: %q", line)
+		}
+	}
+}
+
+func TestConvert(t *testing.T) {
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(sampleBenchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Variant != "reference" || rows[1].Variant != "runner" {
+		t.Fatalf("variants = %q, %q", rows[0].Variant, rows[1].Variant)
+	}
+	if rows[2].Benchmark != "BenchmarkClusterRun" || rows[2].Model != "Inception v2" || rows[2].Variant != "" {
+		t.Fatalf("cluster row = %+v", rows[2])
+	}
+}
+
+// TestConvertEmptyInputFails: zero parsed rows must be an error, so a
+// renamed benchmark or a bad -bench regex fails `make perf` loudly instead
+// of uploading an empty artifact.
+func TestConvertEmptyInputFails(t *testing.T) {
+	var out bytes.Buffer
+	err := convert(strings.NewReader("no benchmarks here\n"), &out)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark result lines") {
+		t.Fatalf("err = %v, want no-results error", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("output written despite error: %q", out.String())
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -21,6 +23,8 @@ type appConfig struct {
 	experiments []bench.Experiment
 	opts        bench.Options
 	jsonPath    string
+	cpuProfile  string
+	memProfile  string
 }
 
 // parseArgs parses the CLI flags into an appConfig. It is separated from
@@ -38,6 +42,8 @@ func parseArgs(args []string, stderr io.Writer) (*appConfig, error) {
 		policies   = fs.String("policies", "", "comma-separated scheduling policies for the shootout and hetero experiments (default: all registered; known: "+strings.Join(sched.Names(), ", ")+")")
 		severities = fs.String("hetero-severities", "", "comma-separated slow-down factors (> 1) for the hetero experiment, e.g. '2,4,8' (default: 2,4)")
 		scenarios  = fs.String("hetero-scenarios", "", "comma-separated hetero scenarios (default: all; known: "+strings.Join(bench.HeteroScenarioNames(), ", ")+")")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile (post-GC) to this file when the run completes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -116,7 +122,44 @@ func parseArgs(args []string, stderr io.Writer) (*appConfig, error) {
 			return nil, fmt.Errorf("-hetero-scenarios lists no scenarios")
 		}
 	}
-	return &appConfig{experiments: exps, opts: opts, jsonPath: *jsonPath}, nil
+	return &appConfig{
+		experiments: exps,
+		opts:        opts,
+		jsonPath:    *jsonPath,
+		cpuProfile:  *cpuProfile,
+		memProfile:  *memProfile,
+	}, nil
+}
+
+// withProfiles brackets fn with the requested pprof collection: CPU
+// sampling for the duration of fn, and a post-GC heap snapshot after it.
+// Profiles cover exactly the experiment work, so perf PRs can attach
+// before/after pprof evidence straight from the CLI.
+func withProfiles(cfg *appConfig, fn func() error) error {
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	runErr := fn()
+	if cfg.memProfile != "" {
+		f, err := os.Create(cfg.memProfile)
+		if err != nil {
+			return errors.Join(runErr, fmt.Errorf("-memprofile: %w", err))
+		}
+		defer f.Close()
+		runtime.GC() // materialize the steady-state live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return errors.Join(runErr, fmt.Errorf("-memprofile: %w", err))
+		}
+	}
+	return runErr
 }
 
 // jsonReport is the machine-readable record of one experiment run. Error is
@@ -190,7 +233,7 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "tictac-bench: %v\n", err)
 		return 2
 	}
-	if err := runApp(cfg, stdout, stderr); err != nil {
+	if err := withProfiles(cfg, func() error { return runApp(cfg, stdout, stderr) }); err != nil {
 		fmt.Fprintf(stderr, "tictac-bench: %v\n", err)
 		return 1
 	}

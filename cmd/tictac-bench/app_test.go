@@ -190,6 +190,61 @@ func TestAppMainRunsTable1WithJSON(t *testing.T) {
 	}
 }
 
+func TestParseArgsProfileFlags(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"-cpuprofile", "cpu.pprof", "-memprofile", "mem.pprof"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.cpuProfile != "cpu.pprof" || cfg.memProfile != "mem.pprof" {
+		t.Fatalf("profile paths = %q, %q", cfg.cpuProfile, cfg.memProfile)
+	}
+	// Defaults: profiling off.
+	cfg, err = parseArgs(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.cpuProfile != "" || cfg.memProfile != "" {
+		t.Fatalf("profiles on by default: %+v", cfg)
+	}
+}
+
+// TestAppMainWritesProfiles runs a real (tiny) experiment with both
+// profiles enabled and checks that non-empty pprof files appear — the
+// evidence channel future perf PRs rely on.
+func TestAppMainWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var stdout, stderr bytes.Buffer
+	code := appMain([]string{"-exp", "table1", "-cpuprofile", cpu, "-memprofile", mem}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, stderr.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+// TestAppMainCPUProfileUnwritable: a bad profile path must fail loudly (exit
+// 1), not silently drop the profile.
+func TestAppMainCPUProfileUnwritable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := appMain([]string{"-exp", "table1", "-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "cpuprofile") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+}
+
 func TestAppMainJSONToStdoutIsPureJSON(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	code := appMain([]string{"-exp", "table1", "-json", "-"}, &stdout, &stderr)

@@ -58,8 +58,15 @@ func AblationEnforcement(o Options) ([]AblationRow, error) {
 		return nil, err
 	}
 	batch := spec.Batch
+	// One reusable (concurrency-safe) Runner for the repeated runs of the
+	// chained graph; each point pays only the simulation, not the per-graph
+	// precomputation.
+	chainedRunner, err := sim.NewRunner(chained)
+	if err != nil {
+		return nil, err
+	}
 	chainTputs, err := engine.Map(o.jobs(), o.Measure, func(i int) (float64, error) {
-		res, err := sim.Run(chained, sim.Config{
+		res, err := chainedRunner.Run(sim.Config{
 			Oracle: cfg.Platform.Oracle(),
 			Seed:   o.Seed + int64(i)*31,
 			Jitter: cfg.Platform.Jitter,
@@ -182,6 +189,7 @@ func AblationReorder(o Options) ([]AblationRow, error) {
 func AblationNetworkModel(o Options) ([]AblationRow, error) {
 	o = o.withDefaults()
 	spec, _ := model.ByName("ResNet-50 v2")
+	bc := newBuildCache()
 	modes := []bool{false, true}
 	return engine.FlatMap(o.jobs(), len(modes), func(i int) ([]AblationRow, error) {
 		shared := modes[i]
@@ -190,7 +198,7 @@ func AblationNetworkModel(o Options) ([]AblationRow, error) {
 			Workers: 8, PS: 2, Platform: timing.EnvC(),
 			SharedPSNIC: shared,
 		}
-		base, tic, _, err := runPair(cfg, sched.TIC, o)
+		base, tic, _, err := runPair(cfg, sched.TIC, o, bc)
 		if err != nil {
 			return nil, err
 		}

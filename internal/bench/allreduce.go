@@ -49,6 +49,7 @@ func AllReduceExtension(o Options) ([]AllReduceRow, error) {
 			points = append(points, point{spec, workers})
 		}
 	}
+	bc := newBuildCache()
 	return engine.Map(o.jobs(), len(points), func(i int) (AllReduceRow, error) {
 		p := points[i]
 		ps := p.workers / 4
@@ -59,7 +60,7 @@ func AllReduceExtension(o Options) ([]AllReduceRow, error) {
 			Model: p.spec, Mode: model.Training,
 			Workers: p.workers, PS: ps, Platform: timing.EnvG(),
 		}
-		psBase, psTic, _, err := runPair(psCfg, sched.TIC, o)
+		psBase, psTic, _, err := runPair(psCfg, sched.TIC, o, bc)
 		if err != nil {
 			return AllReduceRow{}, err
 		}
@@ -99,9 +100,13 @@ func ringThroughput(ring *collective.Ring, sched *core.Schedule, o Options) (flo
 	if ring.Config.BatchFactor > 0 {
 		batch = int(float64(batch) * ring.Config.BatchFactor)
 	}
-	var tputs []float64
+	runner, err := sim.NewRunner(ring.Graph)
+	if err != nil {
+		return 0, err
+	}
+	tputs := make([]float64, 0, o.Measure)
 	for i := 0; i < o.Measure; i++ {
-		res, err := sim.Run(ring.Graph, sim.Config{
+		res, err := runner.Run(sim.Config{
 			Oracle:   ring.Oracle(),
 			Schedule: sched,
 			Seed:     o.Seed + int64(i)*53,

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"sync"
+
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+)
+
+// buildCache memoizes the immutable artifacts that engine points share: the
+// built Cluster for a topology (model, mode, workers, PS, batch factor,
+// platform/platform-map, iterations, NIC mode — i.e. the whole
+// cluster.Config, which is comparable) and the computed Schedule for a
+// (topology, policy, warmup, seed) tuple. Experiments whose point lists
+// repeat a topology — the shootout sweeps every policy over each model, the
+// hetero sweep adds scenarios on top — build each cluster once instead of
+// once per point.
+//
+// Sharing is sound because both artifacts are documented immutable and
+// concurrency-safe after construction, and both constructions are
+// deterministic functions of the key (schedule computation derives all of
+// its randomness from the seed in the key), so a cached artifact is
+// bit-identical to a freshly built one at any engine pool width. The
+// -race gate over internal/bench and the engine determinism tests enforce
+// this. PlatformMap overrides participate in the key by pointer: points
+// that should share a heterogeneous cluster must share the *PlatformMap
+// (the hetero experiment hoists map construction out of its point loop for
+// exactly this reason).
+//
+// A nil *buildCache is valid and disables memoization — every call builds.
+// The cache is scoped to one experiment invocation; nothing outlives it.
+type buildCache struct {
+	mu       sync.Mutex
+	clusters map[cluster.Config]*clusterEntry
+	scheds   map[schedKey]*schedEntry
+}
+
+type clusterEntry struct {
+	once sync.Once
+	c    *cluster.Cluster
+	err  error
+}
+
+type schedKey struct {
+	cfg    cluster.Config
+	policy string
+	warmup int
+	seed   int64
+}
+
+type schedEntry struct {
+	once sync.Once
+	s    *core.Schedule
+	err  error
+}
+
+func newBuildCache() *buildCache {
+	return &buildCache{
+		clusters: make(map[cluster.Config]*clusterEntry),
+		scheds:   make(map[schedKey]*schedEntry),
+	}
+}
+
+// cluster returns the built cluster for cfg, building it at most once per
+// cache (concurrent callers for the same key block on the same build).
+func (bc *buildCache) cluster(cfg cluster.Config) (*cluster.Cluster, error) {
+	if bc == nil {
+		return cluster.Build(cfg)
+	}
+	bc.mu.Lock()
+	e := bc.clusters[cfg]
+	if e == nil {
+		e = &clusterEntry{}
+		bc.clusters[cfg] = e
+	}
+	bc.mu.Unlock()
+	e.once.Do(func() { e.c, e.err = cluster.Build(cfg) })
+	return e.c, e.err
+}
+
+// schedule returns the cluster for cfg plus the memoized schedule computed
+// on it under the named policy.
+func (bc *buildCache) schedule(cfg cluster.Config, policy string, warmup int, seed int64) (*cluster.Cluster, *core.Schedule, error) {
+	c, err := bc.cluster(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if bc == nil {
+		s, err := c.ComputeSchedule(policy, warmup, seed)
+		return c, s, err
+	}
+	key := schedKey{cfg: cfg, policy: policy, warmup: warmup, seed: seed}
+	bc.mu.Lock()
+	e := bc.scheds[key]
+	if e == nil {
+		e = &schedEntry{}
+		bc.scheds[key] = e
+	}
+	bc.mu.Unlock()
+	e.once.Do(func() { e.s, e.err = c.ComputeSchedule(policy, warmup, seed) })
+	return c, e.s, e.err
+}

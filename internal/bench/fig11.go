@@ -38,6 +38,7 @@ func Fig11EfficiencyStraggler(o Options) ([]Fig11Row, error) {
 			points = append(points, point{spec, mode})
 		}
 	}
+	bc := newBuildCache()
 	return engine.Map(o.jobs(), len(points), func(i int) (Fig11Row, error) {
 		p := points[i]
 		cfg := cluster.Config{
@@ -47,7 +48,7 @@ func Fig11EfficiencyStraggler(o Options) ([]Fig11Row, error) {
 			PS:       1,
 			Platform: timing.EnvG(),
 		}
-		base, tic, _, err := runPair(cfg, sched.TIC, o)
+		base, tic, _, err := runPair(cfg, sched.TIC, o, bc)
 		if err != nil {
 			return Fig11Row{}, err
 		}

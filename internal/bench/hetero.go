@@ -152,40 +152,49 @@ func heteroScenarios(o Options) ([]string, error) {
 	return out, nil
 }
 
-// heteroPoint is one engine work item.
+// heteroPoint is one engine work item. platforms carries the scenario's
+// static PlatformMap override (nil for homog/transient/contention); it is
+// built once per (scenario, severity) in Hetero so that points sharing a
+// topology also share the pointer — which is what lets the build cache
+// recognize them as the same cluster.
 type heteroPoint struct {
-	spec     model.Spec
-	policy   string
-	scenario string
-	severity float64
+	spec      model.Spec
+	policy    string
+	scenario  string
+	severity  float64
+	platforms *timing.PlatformMap
 }
 
-// runHeteroPoint builds the point's cluster (with any static PlatformMap
-// override), computes the policy schedule on it, and measures under any
-// per-run injection. The homog path is kept literally identical to the
-// shootout's: same Config literal, same schedule warmup, same run seeds.
-func runHeteroPoint(p heteroPoint, o Options) (HeteroRow, error) {
-	cfg := cluster.Config{
-		Model:    p.spec,
-		Mode:     model.Training,
-		Workers:  4,
-		PS:       1,
-		Platform: timing.EnvG(),
-	}
-	switch p.scenario {
+// scenarioPlatforms returns the static PlatformMap override of a
+// (scenario, severity) pair, or nil when the scenario injects per-run
+// windows instead of static hardware asymmetry.
+func scenarioPlatforms(scenario string, severity float64) *timing.PlatformMap {
+	switch scenario {
 	case ScenarioStraggler:
-		cfg.Platforms = timing.NewPlatformMap(timing.EnvG()).
-			SetDevice(cluster.WorkerDevice(0), timing.EnvG().SlowedCompute(p.severity))
+		return timing.NewPlatformMap(timing.EnvG()).
+			SetDevice(cluster.WorkerDevice(0), timing.EnvG().SlowedCompute(severity))
 	case ScenarioAsymLink:
-		cfg.Platforms = timing.NewPlatformMap(timing.EnvG()).
+		return timing.NewPlatformMap(timing.EnvG()).
 			SetChannel(cluster.ChannelResource(0, 0),
-				timing.ChannelCost{Bandwidth: timing.EnvG().NetBandwidth / p.severity})
+				timing.ChannelCost{Bandwidth: timing.EnvG().NetBandwidth / severity})
 	}
-	c, err := cluster.Build(cfg)
-	if err != nil {
-		return HeteroRow{}, err
+	return nil
+}
+
+// runHeteroPoint resolves the point's cluster and policy schedule through
+// the build cache and measures under any per-run injection. The homog path
+// is kept literally identical to the shootout's: same Config literal, same
+// schedule warmup, same run seeds.
+func runHeteroPoint(p heteroPoint, o Options, bc *buildCache) (HeteroRow, error) {
+	cfg := cluster.Config{
+		Model:     p.spec,
+		Mode:      model.Training,
+		Workers:   4,
+		PS:        1,
+		Platform:  timing.EnvG(),
+		Platforms: p.platforms,
 	}
-	s, err := c.ComputeSchedule(p.policy, 5, o.Seed)
+	c, s, err := bc.schedule(cfg, p.policy, 5, o.Seed)
 	if err != nil {
 		return HeteroRow{}, err
 	}
@@ -241,19 +250,32 @@ func Hetero(o Options) (*HeteroResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One PlatformMap per (scenario, severity), shared by every point of
+	// that cell so the build cache can share the underlying clusters too.
+	type pmKey struct {
+		scenario string
+		severity float64
+	}
+	pms := make(map[pmKey]*timing.PlatformMap)
+	for _, scenario := range scenarios {
+		for _, k := range severities {
+			pms[pmKey{scenario, k}] = scenarioPlatforms(scenario, k)
+		}
+	}
 	var points []heteroPoint
 	for _, spec := range specs {
 		for _, policy := range policies {
-			points = append(points, heteroPoint{spec, policy, scenarioHomog, 1})
+			points = append(points, heteroPoint{spec, policy, scenarioHomog, 1, nil})
 			for _, scenario := range scenarios {
 				for _, k := range severities {
-					points = append(points, heteroPoint{spec, policy, scenario, k})
+					points = append(points, heteroPoint{spec, policy, scenario, k, pms[pmKey{scenario, k}]})
 				}
 			}
 		}
 	}
+	bc := newBuildCache()
 	rows, err := engine.Map(o.jobs(), len(points), func(i int) (HeteroRow, error) {
-		return runHeteroPoint(points[i], o)
+		return runHeteroPoint(points[i], o, bc)
 	})
 	if err != nil {
 		return nil, err

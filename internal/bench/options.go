@@ -115,12 +115,10 @@ func sweepModels(o Options) []model.Spec {
 
 // runPair measures a configuration under the baseline and under the named
 // scheduling policy, returning both outcomes and the computed schedule.
-func runPair(cfg cluster.Config, policy string, o Options) (base, enforced *cluster.Outcome, sched *core.Schedule, err error) {
-	c, err := cluster.Build(cfg)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	sched, err = c.ComputeSchedule(policy, 5, o.Seed)
+// bc memoizes the cluster and schedule across points sharing the topology
+// (nil disables memoization).
+func runPair(cfg cluster.Config, policy string, o Options, bc *buildCache) (base, enforced *cluster.Outcome, sched *core.Schedule, err error) {
+	c, sched, err := bc.schedule(cfg, policy, 5, o.Seed)
 	if err != nil {
 		return nil, nil, nil, err
 	}

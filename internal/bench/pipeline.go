@@ -46,6 +46,7 @@ func PipelineExtension(o Options) ([]PipelineRow, error) {
 			points = append(points, point{spec, iters})
 		}
 	}
+	bc := newBuildCache()
 	return engine.Map(o.jobs(), len(points), func(i int) (PipelineRow, error) {
 		p := points[i]
 		cfg := cluster.Config{
@@ -53,7 +54,7 @@ func PipelineExtension(o Options) ([]PipelineRow, error) {
 			Workers: 4, PS: 1, Platform: timing.EnvG(),
 			Iterations: p.iters,
 		}
-		base, tic, _, err := runPair(cfg, sched.TIC, o)
+		base, tic, _, err := runPair(cfg, sched.TIC, o, bc)
 		if err != nil {
 			return PipelineRow{}, err
 		}

@@ -124,19 +124,18 @@ func Shootout(o Options) (*ShootoutResult, error) {
 			points = append(points, point{spec, policy})
 		}
 	}
+	// Points sharing a model reuse one immutable cluster via the build
+	// cache — the policy dimension costs a schedule, not a graph rebuild.
+	bc := newBuildCache()
 	rows, err := engine.Map(o.jobs(), len(points), func(i int) (ShootoutRow, error) {
 		p := points[i]
-		c, err := cluster.Build(cluster.Config{
+		c, s, err := bc.schedule(cluster.Config{
 			Model:    p.spec,
 			Mode:     model.Training,
 			Workers:  4,
 			PS:       1,
 			Platform: timing.EnvG(),
-		})
-		if err != nil {
-			return ShootoutRow{}, err
-		}
-		s, err := c.ComputeSchedule(p.policy, 5, o.Seed)
+		}, p.policy, 5, o.Seed)
 		if err != nil {
 			return ShootoutRow{}, err
 		}

@@ -34,11 +34,13 @@ type sweepSpec struct {
 }
 
 // runSweep fans a flat point list out across the engine, reassembling rows
-// in canonical (declaration) order.
+// in canonical (declaration) order. One build cache spans the sweep, so any
+// points sharing a topology share its immutable artifacts.
 func runSweep(points []sweepSpec, o Options) ([]SweepRow, error) {
+	bc := newBuildCache()
 	return engine.Map(o.jobs(), len(points), func(i int) (SweepRow, error) {
 		p := points[i]
-		return sweepPoint(p.spec, p.mode, p.workers, p.ps, p.factor, o)
+		return sweepPoint(p.spec, p.mode, p.workers, p.ps, p.factor, o, bc)
 	})
 }
 
@@ -89,7 +91,7 @@ func Fig10BatchScale(o Options) ([]SweepRow, error) {
 	return runSweep(points, o)
 }
 
-func sweepPoint(spec model.Spec, mode model.Mode, workers, ps int, factor float64, o Options) (SweepRow, error) {
+func sweepPoint(spec model.Spec, mode model.Mode, workers, ps int, factor float64, o Options, bc *buildCache) (SweepRow, error) {
 	cfg := cluster.Config{
 		Model:       spec,
 		Mode:        mode,
@@ -98,7 +100,7 @@ func sweepPoint(spec model.Spec, mode model.Mode, workers, ps int, factor float6
 		BatchFactor: factor,
 		Platform:    timing.EnvG(),
 	}
-	base, tic, _, err := runPair(cfg, sched.TIC, o)
+	base, tic, _, err := runPair(cfg, sched.TIC, o, bc)
 	if err != nil {
 		return SweepRow{}, err
 	}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"io"
+	"strings"
 
 	"tictac/internal/bench/engine"
 	"tictac/internal/cluster"
@@ -53,11 +54,12 @@ func UniqueOrders(o Options) ([]UniqueOrdersRow, error) {
 			if err != nil {
 				return "", err
 			}
-			key := ""
+			var b strings.Builder
 			for _, k := range it.RecvOrder {
-				key += k + "\x00"
+				b.WriteString(k)
+				b.WriteByte(0)
 			}
-			return key, nil
+			return b.String(), nil
 		})
 		if err != nil {
 			return nil, err

@@ -11,6 +11,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"tictac/internal/core"
 	"tictac/internal/graph"
@@ -143,10 +144,13 @@ func (c Config) knownChannel(res string) bool {
 // Cluster is a built multi-device execution graph plus its metadata.
 //
 // A Cluster is read-only after Build: RunIteration, Run, ComputeSchedule and
-// ReferenceWorker only read the graph (the simulator keeps all per-run state
-// in locals), so one Cluster may be shared by concurrent goroutines — the
-// parallel bench engine relies on this for the repeated-run experiments
-// (Figure 12, unique orders). ChainRecvsByOrder clones before mutating.
+// ReferenceWorker only read the graph, so one Cluster may be shared by
+// concurrent goroutines — the parallel bench engine relies on this for the
+// repeated-run experiments (Figure 12, unique orders). The simulation hot
+// path goes through one lazily-built, concurrency-safe sim.Runner per
+// Cluster (the Runner recycles per-run buffers and compiled schedules
+// across the warmup+measure protocol), plus a cached reference-worker index
+// for the efficiency metric. ChainRecvsByOrder clones before mutating.
 type Cluster struct {
 	Config Config
 	// Graph is the full multi-device DAG executed each iteration.
@@ -155,6 +159,55 @@ type Cluster struct {
 	Shard map[string]int
 	// Params are the model's parameter tensors.
 	Params []model.Param
+
+	// runner is the reusable simulator for Graph, built on first use.
+	runnerOnce sync.Once
+	runner     *sim.Runner
+	runnerErr  error
+
+	// effRef/effToRef are the cached reference-worker partition and the
+	// full-graph op ID → reference op ID mapping (-1 = not a first-
+	// iteration worker-0 op) used by the per-iteration efficiency metric.
+	effOnce  sync.Once
+	effRef   *graph.Graph
+	effToRef []int32
+}
+
+// simRunner returns the Cluster's shared simulator, building it on first
+// use. The Runner is safe for concurrent Run calls.
+func (c *Cluster) simRunner() (*sim.Runner, error) {
+	c.runnerOnce.Do(func() {
+		c.runner, c.runnerErr = sim.NewRunner(c.Graph)
+	})
+	return c.runner, c.runnerErr
+}
+
+// effIndex returns the cached reference-worker partition and the dense
+// full-graph → reference op mapping, building both on first use.
+func (c *Cluster) effIndex() (*graph.Graph, []int32) {
+	c.effOnce.Do(func() {
+		ref := c.ReferenceWorker()
+		toRef := make([]int32, c.Graph.Len())
+		for i := range toRef {
+			toRef[i] = -1
+		}
+		prefix := c.refPrefix()
+		device := WorkerDevice(0)
+		for _, op := range c.Graph.Ops() {
+			if op.Device != device {
+				continue
+			}
+			name := op.Name
+			if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+				continue // other iterations of a chained graph
+			}
+			if rop := ref.Op(name[len(prefix):]); rop != nil {
+				toRef[op.ID] = int32(rop.ID)
+			}
+		}
+		c.effRef, c.effToRef = ref, toRef
+	})
+	return c.effRef, c.effToRef
 }
 
 // WorkerDevice returns the device tag of worker i.
@@ -461,9 +514,13 @@ func (c *Cluster) TraceRuns(warmupIters int, seed int64) (*timing.Tracer, error)
 	if warmupIters < 1 {
 		warmupIters = 5
 	}
+	runner, err := c.simRunner()
+	if err != nil {
+		return nil, err
+	}
 	tracer := timing.NewTracer()
 	for i := 0; i < warmupIters; i++ {
-		_, err := sim.Run(c.Graph, sim.Config{
+		_, err := runner.Run(sim.Config{
 			Oracle: c.oracle(),
 			Seed:   seed + int64(i),
 			Jitter: c.Config.Platform.Jitter,

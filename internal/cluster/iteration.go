@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
 	"tictac/internal/core"
 	"tictac/internal/graph"
@@ -148,7 +149,11 @@ func (c *Cluster) RunIteration(opts RunOptions) (*Iteration, error) {
 	if jitter < 0 {
 		jitter = c.Config.Platform.Jitter
 	}
-	res, err := sim.Run(c.Graph, sim.Config{
+	runner, err := c.simRunner()
+	if err != nil {
+		return nil, err
+	}
+	res, err := runner.Run(sim.Config{
 		Oracle:      c.oracle(),
 		Schedule:    opts.Schedule,
 		Seed:        opts.Seed,
@@ -163,6 +168,7 @@ func (c *Cluster) RunIteration(opts RunOptions) (*Iteration, error) {
 		Makespan:      res.Makespan,
 		RecvOrder:     res.RecvStartOrder[WorkerDevice(0)],
 		ReorderEvents: res.ReorderEvents,
+		WorkerFinish:  make([]float64, 0, c.Config.Workers),
 	}
 	minFinish := res.Makespan
 	for w := 0; w < c.Config.Workers; w++ {
@@ -182,22 +188,20 @@ func (c *Cluster) RunIteration(opts RunOptions) (*Iteration, error) {
 // iterationEfficiency computes E on the worker-0 partition using the
 // iteration's measured per-op durations, mirroring §3.2 ("for a given
 // iteration, we measure runtime of each op as well as the makespan of that
-// iteration and then calculate the bounds").
+// iteration and then calculate the bounds"). Durations are indexed by the
+// reference partition's op IDs through the Cluster's cached mapping — no
+// per-iteration graph rebuild and no string trimming in the loop.
 func (c *Cluster) iterationEfficiency(res *sim.Result) float64 {
-	prefix := c.refPrefix()
-	measured := make(map[string]float64)
+	ref, toRef := c.effIndex()
+	measured := make([]float64, ref.Len())
 	var start, end float64
 	first := true
 	for _, sp := range res.Spans {
-		if sp.Op.Device != WorkerDevice(0) {
-			continue
+		ri := toRef[sp.Op.ID]
+		if ri < 0 {
+			continue // other devices, or other iterations of a chained graph
 		}
-		name := sp.Op.Name
-		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
-			continue // other iterations of a chained graph
-		}
-		name = name[len(prefix):]
-		measured[name] = sp.End - sp.Start
+		measured[ri] = sp.End - sp.Start
 		if first || sp.Start < start {
 			start = sp.Start
 			first = false
@@ -206,8 +210,7 @@ func (c *Cluster) iterationEfficiency(res *sim.Result) float64 {
 			end = sp.End
 		}
 	}
-	ref := c.ReferenceWorker()
-	oracle := timing.OracleFunc(func(op *graph.Op) float64 { return measured[op.Name] })
+	oracle := timing.OracleFunc(func(op *graph.Op) float64 { return measured[op.ID] })
 	return core.Efficiency(ref, oracle, end-start)
 }
 
@@ -248,9 +251,14 @@ func (c *Cluster) Run(exp Experiment, opts RunOptions) (*Outcome, error) {
 	if exp.Measure < 1 {
 		return nil, fmt.Errorf("cluster: experiment needs >= 1 measured iteration")
 	}
-	out := &Outcome{MinEfficiency: 1}
-	var makespans, throughputs, effs []float64
-	orders := make(map[string]bool)
+	out := &Outcome{
+		MinEfficiency: 1,
+		Iterations:    make([]Iteration, 0, exp.Measure),
+	}
+	makespans := make([]float64, 0, exp.Measure)
+	throughputs := make([]float64, 0, exp.Measure)
+	effs := make([]float64, 0, exp.Measure)
+	orders := make(map[string]bool, exp.Measure)
 	batch := c.Config.batch()
 	for i := 0; i < exp.Warmup+exp.Measure; i++ {
 		iterOpts := opts
@@ -283,10 +291,19 @@ func (c *Cluster) Run(exp Experiment, opts RunOptions) (*Outcome, error) {
 	return out, nil
 }
 
+// joinKeys flattens a key list into one NUL-separated string (a map key for
+// order uniqueness counting). One Grow-sized allocation instead of the
+// quadratic string concatenation it replaces.
 func joinKeys(keys []string) string {
-	s := ""
+	var b strings.Builder
+	n := 0
 	for _, k := range keys {
-		s += k + "\x00"
+		n += len(k) + 1
 	}
-	return s
+	b.Grow(n)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(0)
+	}
+	return b.String()
 }

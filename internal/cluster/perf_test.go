@@ -1,0 +1,191 @@
+package cluster
+
+// Parity tests pinning the cluster layer's refactored hot path — shared
+// sim.Runner, ID-indexed efficiency — to the pre-refactor semantics, plus
+// the BenchmarkClusterRun microbenchmark behind `make perf`.
+
+import (
+	"math"
+	"testing"
+
+	"tictac/internal/core"
+	"tictac/internal/graph"
+	"tictac/internal/model"
+	"tictac/internal/sim"
+	"tictac/internal/sim/simref"
+	"tictac/internal/timing"
+)
+
+// refIterationEfficiency recomputes the efficiency metric exactly the way
+// the pre-refactor code did: trim the worker prefix off every span name
+// into a string-keyed duration map and rebuild the reference partition.
+func refIterationEfficiency(c *Cluster, res *sim.Result) float64 {
+	prefix := c.refPrefix()
+	measured := make(map[string]float64)
+	var start, end float64
+	first := true
+	for _, sp := range res.Spans {
+		if sp.Op.Device != WorkerDevice(0) {
+			continue
+		}
+		name := sp.Op.Name
+		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			continue
+		}
+		name = name[len(prefix):]
+		measured[name] = sp.End - sp.Start
+		if first || sp.Start < start {
+			start = sp.Start
+			first = false
+		}
+		if sp.End > end {
+			end = sp.End
+		}
+	}
+	ref := c.ReferenceWorker()
+	oracle := timing.OracleFunc(func(op *graph.Op) float64 { return measured[op.Name] })
+	return core.Efficiency(ref, oracle, end-start)
+}
+
+// TestIterationEfficiencyParity pins the ID-indexed efficiency rewrite to
+// the name-keyed original, bit for bit, on single- and multi-iteration
+// (chained) graphs.
+func TestIterationEfficiencyParity(t *testing.T) {
+	spec, _ := model.ByName("AlexNet v2")
+	for _, iters := range []int{1, 2} {
+		c, err := Build(Config{
+			Model:      spec,
+			Mode:       model.Training,
+			Workers:    2,
+			PS:         1,
+			Platform:   timing.EnvG(),
+			Iterations: iters,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := c.ComputeSchedule("tic", 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 3; seed++ {
+			res, err := simref.Run(c.Graph, sim.Config{
+				Oracle:   c.oracle(),
+				Schedule: s,
+				Seed:     seed,
+				Jitter:   c.Config.Platform.Jitter,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := refIterationEfficiency(c, res)
+			got := c.iterationEfficiency(res)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("iters=%d seed=%d: efficiency %v != %v", iters, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestRunIterationParityWithFrozenSim replays RunIteration's exact
+// simulator configuration through the frozen reference engine and checks
+// every Iteration field the experiments consume — the cluster-level
+// counterpart of the sim parity suite.
+func TestRunIterationParityWithFrozenSim(t *testing.T) {
+	spec, _ := model.ByName("Inception v1")
+	c, err := Build(Config{
+		Model:    spec,
+		Mode:     model.Training,
+		Workers:  3,
+		PS:       2,
+		Platform: timing.EnvG(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.ComputeSchedule("tic", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed < 4; seed++ {
+		opts := RunOptions{Schedule: s, Seed: seed, Jitter: -1, ReorderProb: 0.01}
+		it, err := c.RunIteration(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := simref.Run(c.Graph, sim.Config{
+			Oracle:      c.oracle(),
+			Schedule:    opts.Schedule,
+			Seed:        opts.Seed,
+			Jitter:      c.Config.Platform.Jitter,
+			ReorderProb: opts.ReorderProb,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(it.Makespan) != math.Float64bits(res.Makespan) {
+			t.Fatalf("seed %d: makespan %v != %v", seed, it.Makespan, res.Makespan)
+		}
+		if it.ReorderEvents != res.ReorderEvents {
+			t.Fatalf("seed %d: reorder events %d != %d", seed, it.ReorderEvents, res.ReorderEvents)
+		}
+		wantOrder := res.RecvStartOrder[WorkerDevice(0)]
+		if len(it.RecvOrder) != len(wantOrder) {
+			t.Fatalf("seed %d: recv order length %d != %d", seed, len(it.RecvOrder), len(wantOrder))
+		}
+		for i := range wantOrder {
+			if it.RecvOrder[i] != wantOrder[i] {
+				t.Fatalf("seed %d: recv order differs at %d", seed, i)
+			}
+		}
+		if len(it.WorkerFinish) != c.Config.Workers {
+			t.Fatalf("seed %d: %d worker finishes", seed, len(it.WorkerFinish))
+		}
+		for w, f := range it.WorkerFinish {
+			if math.Float64bits(f) != math.Float64bits(res.DeviceFinish[WorkerDevice(w)]) {
+				t.Fatalf("seed %d: worker %d finish %v != %v", seed, w, f, res.DeviceFinish[WorkerDevice(w)])
+			}
+		}
+		if want := refIterationEfficiency(c, res); math.Float64bits(it.Efficiency) != math.Float64bits(want) {
+			t.Fatalf("seed %d: efficiency %v != %v", seed, it.Efficiency, want)
+		}
+	}
+}
+
+// benchClusterModels is the BENCH_sim.json cluster-protocol model set.
+var benchClusterModels = []string{"AlexNet v2", "Inception v2"}
+
+// BenchmarkClusterRun measures the full warmup+measure protocol (the unit
+// of work every bench experiment point executes) with the per-Cluster
+// Runner and schedule reuse in steady state.
+func BenchmarkClusterRun(b *testing.B) {
+	for _, name := range benchClusterModels {
+		spec, ok := model.ByName(name)
+		if !ok {
+			b.Fatalf("model %q missing from catalog", name)
+		}
+		c, err := Build(Config{
+			Model:    spec,
+			Mode:     model.Training,
+			Workers:  4,
+			PS:       1,
+			Platform: timing.EnvG(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := c.ComputeSchedule("tic", 2, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp := Experiment{Warmup: 2, Measure: 10}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Run(exp, RunOptions{Schedule: s, Seed: 1, Jitter: -1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

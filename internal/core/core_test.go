@@ -235,6 +235,49 @@ func TestEmptySchedules(t *testing.T) {
 	}
 }
 
+// TestCompileMatchesPosition pins the compiled-schedule contract: for every
+// op of the compiled graph the dense table agrees with Position, with -1
+// standing in for "not part of the schedule".
+func TestCompileMatchesPosition(t *testing.T) {
+	g := figure1()
+	s, err := TAC(g, fixedOracle{def: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := s.Compile(g)
+	if len(pos) != g.Len() {
+		t.Fatalf("compiled length = %d, want %d", len(pos), g.Len())
+	}
+	for _, op := range g.Ops() {
+		want, ok := s.Position(op)
+		if !ok {
+			if pos[op.ID] != -1 {
+				t.Fatalf("%s: compiled %d, want -1 (unprioritized)", op.Name, pos[op.ID])
+			}
+			continue
+		}
+		if int(pos[op.ID]) != want {
+			t.Fatalf("%s: compiled %d, want %d", op.Name, pos[op.ID], want)
+		}
+	}
+	// Compute ops never appear in a transfer schedule.
+	if pos[g.Op("op1").ID] != -1 || pos[g.Op("op2").ID] != -1 {
+		t.Fatal("compute ops should compile to -1")
+	}
+}
+
+// TestCompileNilSchedule: the baseline (no schedule) compiles to an all -1
+// table so the simulator can use one code path for both regimes.
+func TestCompileNilSchedule(t *testing.T) {
+	g := figure1()
+	var s *Schedule
+	for i, p := range s.Compile(g) {
+		if p != -1 {
+			t.Fatalf("nil schedule compiled pos[%d] = %d, want -1", i, p)
+		}
+	}
+}
+
 func TestKeyPrefersParam(t *testing.T) {
 	g := graph.New()
 	op := addRecv(g, "recv/p0", 4)

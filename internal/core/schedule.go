@@ -79,6 +79,33 @@ func (s *Schedule) rankIndex() map[string]int {
 	return s.posCache
 }
 
+// Compile flattens the schedule into a dense position table for the given
+// graph: the element at op.ID is the op's normalized priority number, or -1
+// when the op's transfer is not part of the schedule. A nil schedule
+// compiles to an all -1 table (everything unprioritized — the baseline).
+//
+// The compiled view is what the simulator's inner loop consumes: indexing a
+// slice by op.ID replaces the transfer-key string lookup of Position on
+// every dispatch decision. The table is a snapshot; it is only valid for
+// the graph it was compiled against, and positions agree exactly with
+// Position for every op of that graph.
+func (s *Schedule) Compile(g *graph.Graph) []int32 {
+	pos := make([]int32, g.Len())
+	for i := range pos {
+		pos[i] = -1
+	}
+	if s == nil {
+		return pos
+	}
+	idx := s.rankIndex()
+	for _, op := range g.Ops() {
+		if p, ok := idx[Key(op)]; ok {
+			pos[op.ID] = int32(p)
+		}
+	}
+	return pos
+}
+
 // properties holds the per-op quantities of Algorithm 1.
 type properties struct {
 	// m is op.M: total outstanding communication time the op depends on.

@@ -1,0 +1,244 @@
+package sim_test
+
+// Golden bit-identity tests for the zero-allocation Runner rewrite: every
+// observable output of Runner.Run — makespan, spans, recv start orders,
+// device finish times, reorder counts — must match the frozen pre-refactor
+// implementation (internal/sim/simref) bit for bit, on full cluster graphs
+// of every Table 1 model, with and without schedules, jitter, reorder
+// injection and cost scaling. The determinism contract of every experiment
+// in the suite rests on this equivalence.
+
+import (
+	"math"
+	"testing"
+
+	"tictac/internal/cluster"
+	"tictac/internal/graph"
+	"tictac/internal/model"
+	"tictac/internal/sim"
+	"tictac/internal/sim/simref"
+	"tictac/internal/timing"
+)
+
+// mustEqualResults compares two results bit for bit.
+func mustEqualResults(t *testing.T, label string, want, got *sim.Result) {
+	t.Helper()
+	if math.Float64bits(want.Makespan) != math.Float64bits(got.Makespan) {
+		t.Fatalf("%s: makespan %v != %v", label, got.Makespan, want.Makespan)
+	}
+	if want.ReorderEvents != got.ReorderEvents {
+		t.Fatalf("%s: reorder events %d != %d", label, got.ReorderEvents, want.ReorderEvents)
+	}
+	if len(want.Spans) != len(got.Spans) {
+		t.Fatalf("%s: %d spans != %d", label, len(got.Spans), len(want.Spans))
+	}
+	for i := range want.Spans {
+		w, g := want.Spans[i], got.Spans[i]
+		if w.Op != g.Op ||
+			math.Float64bits(w.Start) != math.Float64bits(g.Start) ||
+			math.Float64bits(w.End) != math.Float64bits(g.End) {
+			t.Fatalf("%s: span %d: got %v[%v,%v], want %v[%v,%v]",
+				label, i, g.Op, g.Start, g.End, w.Op, w.Start, w.End)
+		}
+	}
+	if len(want.RecvStartOrder) != len(got.RecvStartOrder) {
+		t.Fatalf("%s: recv-order devices %d != %d", label, len(got.RecvStartOrder), len(want.RecvStartOrder))
+	}
+	for dev, wantOrder := range want.RecvStartOrder {
+		gotOrder, ok := got.RecvStartOrder[dev]
+		if !ok || len(gotOrder) != len(wantOrder) {
+			t.Fatalf("%s: recv order for %s: got %v, want %v", label, dev, gotOrder, wantOrder)
+		}
+		for i := range wantOrder {
+			if wantOrder[i] != gotOrder[i] {
+				t.Fatalf("%s: recv order for %s differs at %d: %q != %q",
+					label, dev, i, gotOrder[i], wantOrder[i])
+			}
+		}
+	}
+	if len(want.DeviceFinish) != len(got.DeviceFinish) {
+		t.Fatalf("%s: device-finish keys %d != %d", label, len(got.DeviceFinish), len(want.DeviceFinish))
+	}
+	for dev, w := range want.DeviceFinish {
+		g, ok := got.DeviceFinish[dev]
+		if !ok || math.Float64bits(w) != math.Float64bits(g) {
+			t.Fatalf("%s: device finish for %s: %v != %v", label, dev, g, w)
+		}
+	}
+}
+
+// parityCluster builds the standard test cluster for a model.
+func parityCluster(t *testing.T, name string, workers, ps int) *cluster.Cluster {
+	t.Helper()
+	spec, ok := model.ByName(name)
+	if !ok {
+		t.Fatalf("model %q missing from catalog", name)
+	}
+	c, err := cluster.Build(cluster.Config{
+		Model:    spec,
+		Mode:     model.Training,
+		Workers:  workers,
+		PS:       ps,
+		Platform: timing.EnvG(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRunnerParityAllTable1Models pins Runner.Run against the frozen
+// reference on every Table 1 model's cluster graph: baseline and
+// TIC-scheduled, with platform jitter and the paper's reorder rate, across
+// fixed seeds — including a repeated run through the same Runner, which
+// must be bit-identical to a fresh one (buffer-reset correctness).
+func TestRunnerParityAllTable1Models(t *testing.T) {
+	for _, spec := range model.Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			c := parityCluster(t, spec.Name, 2, 1)
+			s, err := c.ComputeSchedule("tic", 2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := sim.NewRunner(c.Graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := c.Config.Platform.Oracle()
+			configs := []struct {
+				label string
+				cfg   sim.Config
+			}{
+				{"baseline", sim.Config{Oracle: oracle, Seed: 7}},
+				{"tic", sim.Config{Oracle: oracle, Schedule: s, Seed: 7}},
+				{"tic+jitter+reorder", sim.Config{
+					Oracle: oracle, Schedule: s, Seed: 11,
+					Jitter: c.Config.Platform.Jitter, ReorderProb: 0.005,
+				}},
+			}
+			for _, tc := range configs {
+				want, err := simref.Run(c.Graph, tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := r.Run(tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustEqualResults(t, tc.label, want, got)
+				// Second pass through the recycled state.
+				again, err := r.Run(tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustEqualResults(t, tc.label+"/reuse", want, again)
+			}
+		})
+	}
+}
+
+// TestRunnerParityAcrossSeeds sweeps seeds on a multi-PS cluster with an
+// aggressive reorder rate, so the inversion branch and unprioritized
+// tie-breaks are exercised heavily on both implementations.
+func TestRunnerParityAcrossSeeds(t *testing.T) {
+	c := parityCluster(t, "Inception v1", 4, 2)
+	s, err := c.ComputeSchedule("tic", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.NewRunner(c.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := c.Config.Platform.Oracle()
+	sawReorder := false
+	for seed := int64(0); seed < 10; seed++ {
+		cfg := sim.Config{
+			Oracle: oracle, Schedule: s, Seed: seed,
+			Jitter: 0.05, ReorderProb: 0.2,
+		}
+		want, err := simref.Run(c.Graph, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualResults(t, "seeded", want, got)
+		if got.ReorderEvents > 0 {
+			sawReorder = true
+		}
+	}
+	if !sawReorder {
+		t.Fatal("reorder branch never taken at prob 0.2 — parity sweep is not exercising inversions")
+	}
+}
+
+// TestRunnerParityCostScale exercises the straggler/contention injection
+// path: per-op multipliers must feed through both implementations
+// identically and never perturb the RNG stream.
+func TestRunnerParityCostScale(t *testing.T) {
+	c := parityCluster(t, "AlexNet v2", 2, 1)
+	r, err := sim.NewRunner(c.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := func(op *graph.Op) float64 {
+		if op.Kind == graph.Recv || op.Kind == graph.Send {
+			return 2.5
+		}
+		return 1
+	}
+	cfg := sim.Config{Oracle: c.Config.Platform.Oracle(), Seed: 3, Jitter: 0.1, CostScale: scale}
+	want, err := simref.Run(c.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "costscale", want, got)
+}
+
+// TestRunnerSharedScheduleMemo: distinct schedules through one Runner must
+// not bleed into each other via the compiled-table memo.
+func TestRunnerSharedScheduleMemo(t *testing.T) {
+	c := parityCluster(t, "AlexNet v2", 2, 1)
+	tic, err := c.ComputeSchedule("tic", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := c.ComputeSchedule("revtopo", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.NewRunner(c.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := c.Config.Platform.Oracle()
+	for i := 0; i < 2; i++ { // interleave twice: memo hits on round 2
+		for _, tc := range []struct {
+			label string
+			cfg   sim.Config
+		}{
+			{"tic", sim.Config{Oracle: oracle, Schedule: tic, Seed: 5}},
+			{"revtopo", sim.Config{Oracle: oracle, Schedule: rev, Seed: 5}},
+			{"none", sim.Config{Oracle: oracle, Seed: 5}},
+		} {
+			want, err := simref.Run(c.Graph, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.Run(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualResults(t, tc.label, want, got)
+		}
+	}
+}

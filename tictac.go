@@ -94,6 +94,10 @@ type (
 	SimConfig = sim.Config
 	// SimResult summarizes one simulated execution.
 	SimResult = sim.Result
+	// SimRunner is a reusable, concurrency-safe executor bound to one
+	// graph: per-graph precomputation done once, per-run buffers recycled
+	// (zero steady-state allocations beyond each SimResult).
+	SimRunner = sim.Runner
 
 	// ClusterConfig describes a Model-Replica + PS setup.
 	ClusterConfig = cluster.Config
@@ -214,6 +218,11 @@ func Speedup(g *Graph, oracle Oracle) float64 { return core.Speedup(g, oracle) }
 
 // Simulate executes a graph once on the discrete-event executor.
 func Simulate(g *Graph, cfg SimConfig) (*SimResult, error) { return sim.Run(g, cfg) }
+
+// NewSimRunner builds a reusable executor for repeated simulations of one
+// graph — the fast path behind Simulate (which pays the per-graph
+// precomputation on every call). Results are bit-identical to Simulate.
+func NewSimRunner(g *Graph) (*SimRunner, error) { return sim.NewRunner(g) }
 
 // BuildCluster assembles a Model-Replica + Parameter-Server execution graph.
 func BuildCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.Build(cfg) }

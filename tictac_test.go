@@ -80,6 +80,34 @@ func TestPublicGraphAndScheduling(t *testing.T) {
 	}
 }
 
+// TestPublicSimRunner: the facade's reusable executor matches Simulate bit
+// for bit across repeated runs.
+func TestPublicSimRunner(t *testing.T) {
+	spec, _ := tictac.ModelByName("AlexNet v2")
+	g, err := tictac.BuildWorkerGraph(spec, tictac.Training, spec.Batch, "worker:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tictac.SimConfig{Oracle: tictac.EnvG().Oracle(), Seed: 9, Jitter: 0.05}
+	want, err := tictac.Simulate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := tictac.NewSimRunner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := r.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Makespan != want.Makespan || len(got.Spans) != len(want.Spans) {
+			t.Fatalf("run %d: runner result diverged from Simulate", i)
+		}
+	}
+}
+
 func TestPublicModelZoo(t *testing.T) {
 	if len(tictac.Models()) != 10 {
 		t.Fatal("model catalog size")
