@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tictac/internal/service"
+)
+
+// app holds the parsed command line.
+type app struct {
+	addr          string
+	cacheCapacity int
+	shards        int
+	latencyWindow int
+
+	loadtest    bool
+	target      string
+	requests    int
+	concurrency int
+	seed        int64
+	models      string
+	policies    string
+	reportPath  string
+}
+
+func parseFlags(args []string, stderr io.Writer) (*app, error) {
+	a := &app{}
+	fs := flag.NewFlagSet("tictacd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&a.addr, "addr", ":8080", "listen address for daemon mode")
+	fs.IntVar(&a.cacheCapacity, "cache-capacity", service.DefaultCacheCapacity, "resident entries per cache (clusters, schedules)")
+	fs.IntVar(&a.shards, "shards", service.DefaultShards, "cache shard count")
+	fs.IntVar(&a.latencyWindow, "latency-window", 0, "latency sample window for /metrics percentiles (0 = default)")
+	fs.BoolVar(&a.loadtest, "loadtest", false, "run the deterministic load generator instead of serving")
+	fs.StringVar(&a.target, "target", "", "loadtest: base URL of a running tictacd (empty = spin up an in-process server)")
+	fs.IntVar(&a.requests, "requests", 200, "loadtest: total schedule requests")
+	fs.IntVar(&a.concurrency, "concurrency", 16, "loadtest: concurrent client workers")
+	fs.Int64Var(&a.seed, "seed", 1, "loadtest: workload seed")
+	fs.StringVar(&a.models, "models", "", "loadtest: comma-separated Table 1 model names (empty = default trio)")
+	fs.StringVar(&a.policies, "policies", "", "loadtest: comma-separated policy names (empty = tic,critical-path)")
+	fs.StringVar(&a.reportPath, "report", "", "loadtest: also write the JSON report to this file")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *app) options() service.Options {
+	return service.Options{
+		CacheCapacity: a.cacheCapacity,
+		Shards:        a.shards,
+		LatencyWindow: a.latencyWindow,
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// run executes the command; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	a, err := parseFlags(args, stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if a.loadtest {
+		return a.runLoadtest(stdout, stderr)
+	}
+	return a.runDaemon(stdout, stderr)
+}
+
+// runDaemon serves until SIGINT/SIGTERM, then drains in-flight requests.
+func (a *app) runDaemon(stdout, stderr io.Writer) int {
+	svc := service.New(a.options())
+	srv := &http.Server{
+		Addr:              a.addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", a.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "tictacd: listen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tictacd: serving on %s (POST /v1/schedule, POST /v1/simulate, GET /v1/policies, GET /healthz, GET /metrics)\n", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(stdout, "tictacd: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(stderr, "tictacd: shutdown: %v\n", err)
+			return 1
+		}
+		return 0
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(stderr, "tictacd: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}
+
+// runLoadtest drives the deterministic load generator — against -target if
+// given, otherwise against an ephemeral in-process server — prints the JSON
+// report and fails (exit 1) if the service contract was violated.
+func (a *app) runLoadtest(stdout, stderr io.Writer) int {
+	target := a.target
+	if target == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(stderr, "tictacd: listen: %v\n", err)
+			return 1
+		}
+		srv := &http.Server{Handler: service.New(a.options()).Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		target = "http://" + ln.Addr().String()
+		fmt.Fprintf(stderr, "tictacd: loadtest against in-process server %s\n", target)
+	}
+
+	report, runErr := service.RunLoad(service.LoadOptions{
+		Target:      target,
+		Requests:    a.requests,
+		Concurrency: a.concurrency,
+		Seed:        a.seed,
+		Models:      splitList(a.models),
+		Policies:    splitList(a.policies),
+	})
+	// RunLoad may return a partial report alongside its error (e.g. the
+	// run completed but the /metrics read failed). Emit whatever exists
+	// before deciding the verdict — failing runs are exactly the ones
+	// whose report matters.
+	if report != nil {
+		payload, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "tictacd: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s\n", payload)
+		if a.reportPath != "" {
+			if err := os.WriteFile(a.reportPath, append(payload, '\n'), 0o644); err != nil {
+				fmt.Fprintf(stderr, "tictacd: write report: %v\n", err)
+				return 1
+			}
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(stderr, "tictacd: loadtest: %v\n", runErr)
+		return 1
+	}
+	if err := report.Err(); err != nil {
+		fmt.Fprintf(stderr, "tictacd: FAIL: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "tictacd: PASS: %d requests, %d distinct configs, hit rate %.3f, p99 %.1fms\n",
+		report.Requests, report.DistinctConfigs, report.ServerCacheHitRate, report.Latency.P99*1000)
+	return 0
+}

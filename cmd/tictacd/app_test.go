@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tictac/internal/service"
+)
+
+func TestLoadtestInProcess(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-loadtest",
+		"-requests", "20",
+		"-concurrency", "4",
+		"-models", "AlexNet v2",
+		"-policies", "tic",
+		"-report", report,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "PASS") {
+		t.Errorf("stderr missing PASS: %s", stderr.String())
+	}
+	payload, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r service.LoadReport
+	if err := json.Unmarshal(payload, &r); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, payload)
+	}
+	if r.Requests != 20 || r.DistinctConfigs != 1 || r.Mismatches != 0 {
+		t.Errorf("report = %+v", r)
+	}
+	// stdout carries the same report for pipelines.
+	var viaStdout service.LoadReport
+	if err := json.Unmarshal(stdout.Bytes(), &viaStdout); err != nil {
+		t.Errorf("stdout not a JSON report: %v", err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "no-such-flag") {
+		t.Errorf("stderr missing flag error: %s", stderr.String())
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h exit code %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "loadtest") {
+		t.Errorf("usage text missing: %s", stderr.String())
+	}
+}

@@ -1,0 +1,130 @@
+// The service example runs the tictacd scheduling daemon in-process and
+// exercises its API the way a client fleet would: a cold schedule request,
+// a storm of identical concurrent requests that coalesce onto one build, a
+// what-if simulation, and a /metrics read showing the cache absorbing the
+// traffic. See docs/service.md for the full API reference.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"tictac"
+)
+
+func main() {
+	// Mount the service on a loopback listener, as cmd/tictacd would.
+	svc := tictac.NewService(tictac.ServiceOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("tictacd serving on %s\n\n", base)
+
+	// 1. A cold schedule request: built once, digested, cached.
+	req := tictac.ServiceScheduleRequest{
+		Model: "ResNet-50 v2", Policy: "tic", Workers: 4, PS: 2, Seed: 1,
+	}
+	t0 := time.Now()
+	resp := postJSON(base+"/v1/schedule", req)
+	coldMs := time.Since(t0).Seconds() * 1000
+	var sched struct {
+		Cached bool `json:"cached"`
+		Result struct {
+			GraphDigest       string   `json:"graph_digest"`
+			Transfers         int      `json:"transfers"`
+			Order             []string `json:"order"`
+			PredictedMakespan float64  `json:"predicted_makespan_seconds"`
+		} `json:"result"`
+	}
+	mustUnmarshal(resp, &sched)
+	fmt.Printf("cold request: cached=%v  %d transfers  predicted makespan %.4fs  (%.1fms)\n",
+		sched.Cached, sched.Result.Transfers, sched.Result.PredictedMakespan, coldMs)
+	fmt.Printf("graph digest: %s...\n", sched.Result.GraphDigest[:16])
+	fmt.Printf("first transfers: %v\n\n", sched.Result.Order[:3])
+
+	// 2. A storm of identical requests: the singleflight cache serves all
+	// of them from one build.
+	const storm = 24
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	cachedCount := 0
+	t0 = time.Now()
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var r struct {
+				Cached bool `json:"cached"`
+			}
+			mustUnmarshal(postJSON(base+"/v1/schedule", req), &r)
+			if r.Cached {
+				mu.Lock()
+				cachedCount++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("storm: %d identical concurrent requests in %.1fms, %d served from cache\n\n",
+		storm, time.Since(t0).Seconds()*1000, cachedCount)
+
+	// 3. A what-if simulation reusing the cached cluster and schedule.
+	simReq := tictac.ServiceSimulateRequest{
+		ScheduleRequest:   req,
+		MeasureIterations: 5,
+	}
+	var sim struct {
+		Result struct {
+			MeanThroughput  float64 `json:"mean_throughput_samples_per_second"`
+			MeanMakespan    float64 `json:"mean_makespan_seconds"`
+			MaxStragglerPct float64 `json:"max_straggler_pct"`
+		} `json:"result"`
+	}
+	mustUnmarshal(postJSON(base+"/v1/simulate", simReq), &sim)
+	fmt.Printf("simulate: %.0f samples/s, mean iteration %.4fs, worst straggler %.1f%%\n\n",
+		sim.Result.MeanThroughput, sim.Result.MeanMakespan, sim.Result.MaxStragglerPct)
+
+	// 4. The cache's view of all that traffic.
+	m := svc.Metrics()
+	fmt.Printf("metrics: %d schedule requests, %d schedule builds, hit rate %.2f, p99 %.1fms\n",
+		m.Requests["schedule"].Count, m.Builds.Schedules,
+		m.Cache.Schedules.HitRate, m.Requests["schedule"].LatencySeconds.P99*1000)
+}
+
+func postJSON(url string, v any) []byte {
+	body, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %d: %s", url, resp.StatusCode, payload)
+	}
+	return payload
+}
+
+func mustUnmarshal(payload []byte, v any) {
+	if err := json.Unmarshal(payload, v); err != nil {
+		log.Fatalf("%v: %s", err, payload)
+	}
+}

@@ -1,8 +1,7 @@
 package bench
 
 import (
-	"sync"
-
+	"tictac/internal/cache"
 	"tictac/internal/cluster"
 	"tictac/internal/core"
 )
@@ -15,6 +14,16 @@ import (
 // repeat a topology — the shootout sweeps every policy over each model, the
 // hetero sweep adds scenarios on top — build each cluster once instead of
 // once per point.
+//
+// It is a thin veneer over internal/cache (the sharded, request-coalescing
+// LRU that also backs the tictacd service): unbounded capacity, because an
+// experiment's working set is its point list and nothing outlives the
+// invocation, with the cache's singleflight guaranteeing that concurrent
+// engine workers for the same key block on one build. One deliberate
+// semantic shift from the old sync.Once implementation: build errors are
+// no longer memoized (internal/cache never caches failures), so a
+// deterministically failing key would rebuild per point — irrelevant in
+// practice because the first failing point aborts its experiment.
 //
 // Sharing is sound because both artifacts are documented immutable and
 // concurrency-safe after construction, and both constructions are
@@ -30,15 +39,8 @@ import (
 // A nil *buildCache is valid and disables memoization — every call builds.
 // The cache is scoped to one experiment invocation; nothing outlives it.
 type buildCache struct {
-	mu       sync.Mutex
-	clusters map[cluster.Config]*clusterEntry
-	scheds   map[schedKey]*schedEntry
-}
-
-type clusterEntry struct {
-	once sync.Once
-	c    *cluster.Cluster
-	err  error
+	clusters *cache.Cache[cluster.Config, *cluster.Cluster]
+	scheds   *cache.Cache[schedKey, *core.Schedule]
 }
 
 type schedKey struct {
@@ -48,16 +50,10 @@ type schedKey struct {
 	seed   int64
 }
 
-type schedEntry struct {
-	once sync.Once
-	s    *core.Schedule
-	err  error
-}
-
 func newBuildCache() *buildCache {
 	return &buildCache{
-		clusters: make(map[cluster.Config]*clusterEntry),
-		scheds:   make(map[schedKey]*schedEntry),
+		clusters: cache.New[cluster.Config, *cluster.Cluster](4, 0),
+		scheds:   cache.New[schedKey, *core.Schedule](4, 0),
 	}
 }
 
@@ -67,15 +63,10 @@ func (bc *buildCache) cluster(cfg cluster.Config) (*cluster.Cluster, error) {
 	if bc == nil {
 		return cluster.Build(cfg)
 	}
-	bc.mu.Lock()
-	e := bc.clusters[cfg]
-	if e == nil {
-		e = &clusterEntry{}
-		bc.clusters[cfg] = e
-	}
-	bc.mu.Unlock()
-	e.once.Do(func() { e.c, e.err = cluster.Build(cfg) })
-	return e.c, e.err
+	c, _, err := bc.clusters.Do(cfg, func() (*cluster.Cluster, error) {
+		return cluster.Build(cfg)
+	})
+	return c, err
 }
 
 // schedule returns the cluster for cfg plus the memoized schedule computed
@@ -90,13 +81,8 @@ func (bc *buildCache) schedule(cfg cluster.Config, policy string, warmup int, se
 		return c, s, err
 	}
 	key := schedKey{cfg: cfg, policy: policy, warmup: warmup, seed: seed}
-	bc.mu.Lock()
-	e := bc.scheds[key]
-	if e == nil {
-		e = &schedEntry{}
-		bc.scheds[key] = e
-	}
-	bc.mu.Unlock()
-	e.once.Do(func() { e.s, e.err = c.ComputeSchedule(policy, warmup, seed) })
-	return c, e.s, e.err
+	s, _, err := bc.scheds.Do(key, func() (*core.Schedule, error) {
+		return c.ComputeSchedule(policy, warmup, seed)
+	})
+	return c, s, err
 }

@@ -1,0 +1,290 @@
+// Package cache provides a sharded, request-coalescing LRU cache for
+// expensive deterministic builds.
+//
+// It generalizes the memoization pattern the bench harness grew in
+// internal/bench/cache.go — map + sync.Once per key — into a reusable layer
+// with bounded capacity and observable statistics, so both the experiment
+// engine and the tictacd scheduling service share one implementation.
+//
+// The contract mirrors singleflight fused with an LRU:
+//
+//   - Do(key, build) returns the cached value for key, building it at most
+//     once per residency: concurrent callers for the same missing key
+//     coalesce onto one build and all receive its result.
+//   - Values are retained in per-shard LRU order up to the configured
+//     capacity; eviction only touches completed entries (an in-flight build
+//     is never evicted from under its waiters).
+//   - Errors are returned to every coalesced waiter but never cached: the
+//     next Do for the key builds again.
+//
+// The cache is only as sound as the build functions are: callers must cache
+// deterministic, immutable, concurrency-safe values (the repo-wide contract
+// for Cluster, Schedule and Runner artifacts), since one cached value is
+// handed to every subsequent caller.
+package cache
+
+import (
+	"errors"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrBuildPanic is what coalesced waiters receive when the caller that ran
+// the build panicked; the panic itself propagates to that caller, and the
+// key is left uncached.
+var ErrBuildPanic = errors.New("cache: build function panicked")
+
+// Outcome classifies how one Do call was served.
+type Outcome uint8
+
+const (
+	// Miss means this call executed the build function.
+	Miss Outcome = iota
+	// Hit means the value was already resident.
+	Hit
+	// Coalesced means the call piggybacked on a concurrent in-flight build
+	// for the same key.
+	Coalesced
+)
+
+// String returns the lower-case outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// Stats is a point-in-time snapshot of cache activity. Counters are
+// cumulative since construction.
+type Stats struct {
+	// Hits counts Do calls served from a resident value.
+	Hits uint64
+	// Misses counts Do calls that executed the build function.
+	Misses uint64
+	// Coalesced counts Do calls that waited on another caller's in-flight
+	// build instead of starting their own.
+	Coalesced uint64
+	// Evictions counts resident values discarded by the LRU bound.
+	Evictions uint64
+	// Errors counts builds that returned an error (never cached).
+	Errors uint64
+}
+
+// Lookups returns the total number of Do calls observed.
+func (s Stats) Lookups() uint64 { return s.Hits + s.Misses + s.Coalesced }
+
+// HitRate returns the fraction of Do calls that did not execute a build
+// (hits plus coalesced waiters), or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	n := s.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(n)
+}
+
+// Cache is a sharded LRU with request coalescing. The zero value is not
+// usable; call New.
+type Cache[K comparable, V any] struct {
+	shards []shard[K, V]
+	seed   maphash.Seed
+	// capacity is the per-shard resident-entry bound; <= 0 means unbounded.
+	capacity int
+
+	hits, misses, coalesced, evictions, errors atomic.Uint64
+}
+
+type shard[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*entry[K, V]
+	// head/tail is the LRU list of resident (completed, error-free)
+	// entries; head is most recently used.
+	head, tail *entry[K, V]
+	resident   int
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	// done is closed when the build completes; val/err are immutable after.
+	done chan struct{}
+	val  V
+	err  error
+	// complete is guarded by the shard mutex (waiters outside the lock use
+	// the done channel instead).
+	complete   bool
+	prev, next *entry[K, V]
+}
+
+// New returns a cache with the given shard count and total capacity
+// (resident entries across all shards; <= 0 means unbounded). Shard counts
+// < 1 are raised to 1; capacity is split evenly across shards, rounding up,
+// so a bounded cache never rounds a shard down to zero retention.
+func New[K comparable, V any](shards, capacity int) *Cache[K, V] {
+	if shards < 1 {
+		shards = 1
+	}
+	perShard := 0
+	if capacity > 0 {
+		perShard = (capacity + shards - 1) / shards
+	}
+	c := &Cache[K, V]{
+		shards:   make([]shard[K, V], shards),
+		seed:     maphash.MakeSeed(),
+		capacity: perShard,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[K]*entry[K, V])
+	}
+	return c
+}
+
+// Do returns the value for key, building it with build on a miss.
+// Concurrent calls for the same missing key run build exactly once and all
+// receive its value (Outcome reports how each call was served). Build
+// errors propagate to every waiter and leave the key uncached.
+func (c *Cache[K, V]) Do(key K, build func() (V, error)) (V, Outcome, error) {
+	s := &c.shards[maphash.Comparable(c.seed, key)%uint64(len(c.shards))]
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		if e.complete {
+			s.moveToFront(e)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return e.val, Hit, nil
+		}
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		<-e.done
+		return e.val, Coalesced, e.err
+	}
+	e := &entry[K, V]{key: key, done: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	// Completion must run even if build panics: otherwise the in-flight
+	// entry wedges its key forever (coalesced waiters and every future Do
+	// block on a done channel nobody will close). The panic itself still
+	// propagates to the building caller; waiters see ErrBuildPanic.
+	var (
+		val      V
+		err      error
+		finished bool
+	)
+	defer func() {
+		if !finished && err == nil {
+			err = ErrBuildPanic
+		}
+		s.mu.Lock()
+		e.val, e.err = val, err
+		e.complete = true
+		if e.err != nil {
+			// Never cache failures: the key disappears before any future Do
+			// can observe it, so the next lookup rebuilds.
+			delete(s.entries, key)
+			c.errors.Add(1)
+		} else {
+			s.pushFront(e)
+			s.resident++
+			for c.capacity > 0 && s.resident > c.capacity {
+				c.evict(s)
+			}
+		}
+		s.mu.Unlock()
+		close(e.done)
+	}()
+	val, err = build()
+	finished = true
+	return val, Miss, err
+}
+
+// Get returns the resident value for key without building. It never
+// coalesces: an in-flight build is reported as absent.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	s := &c.shards[maphash.Comparable(c.seed, key)%uint64(len(c.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok && e.complete {
+		s.moveToFront(e)
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Len returns the number of resident values.
+func (c *Cache[K, V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.resident
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Errors:    c.errors.Load(),
+	}
+}
+
+// evict drops the least recently used resident entry of s. Caller holds
+// s.mu; in-flight entries are not on the LRU list and cannot be chosen.
+func (c *Cache[K, V]) evict(s *shard[K, V]) {
+	lru := s.tail
+	if lru == nil {
+		return
+	}
+	s.unlink(lru)
+	delete(s.entries, lru.key)
+	s.resident--
+	c.evictions.Add(1)
+}
+
+func (s *shard[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard[K, V]) moveToFront(e *entry[K, V]) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"tictac/internal/graph"
+	"tictac/internal/timing"
+)
+
+// digestGraph builds a small worker-shaped DAG. order permutes the op
+// insertion sequence; mutate, when non-nil, tweaks one op before edges are
+// wired, so tests can probe semantic sensitivity.
+func digestGraph(t *testing.T, order []string, mutate func(*graph.Op)) *graph.Graph {
+	t.Helper()
+	kind := map[string]graph.Kind{
+		"recv/a": graph.Recv, "recv/b": graph.Recv,
+		"mul": graph.Compute, "add": graph.Compute, "send/g": graph.Send,
+	}
+	g := graph.New()
+	for _, name := range order {
+		op := g.MustAddOp(name, kind[name])
+		op.Device = "worker:0"
+		op.Resource = "worker:0/compute"
+		if op.Kind == graph.Recv || op.Kind == graph.Send {
+			op.Resource = "worker:0/net"
+			op.Bytes = 1 << 20
+			op.Param = "p/" + name[len(name)-1:]
+		} else {
+			op.FLOPs = 5_000_000
+		}
+		if mutate != nil {
+			mutate(op)
+		}
+	}
+	g.MustConnect(g.Op("recv/a"), g.Op("mul"))
+	g.MustConnect(g.Op("recv/b"), g.Op("add"))
+	g.MustConnect(g.Op("mul"), g.Op("add"))
+	g.MustConnect(g.Op("add"), g.Op("send/g"))
+	return g
+}
+
+var digestOps = []string{"recv/a", "recv/b", "mul", "add", "send/g"}
+
+func TestGraphDigestInsertionOrderInvariant(t *testing.T) {
+	forward := digestGraph(t, digestOps, nil)
+	reversed := digestGraph(t, []string{"send/g", "add", "mul", "recv/b", "recv/a"}, nil)
+	shuffled := digestGraph(t, []string{"mul", "send/g", "recv/a", "add", "recv/b"}, nil)
+
+	want := GraphDigest(forward)
+	if got := GraphDigest(reversed); got != want {
+		t.Errorf("reversed insertion order changed digest: %s vs %s", got, want)
+	}
+	if got := GraphDigest(shuffled); got != want {
+		t.Errorf("shuffled insertion order changed digest: %s vs %s", got, want)
+	}
+	if got := GraphDigest(forward.Clone()); got != want {
+		t.Errorf("Clone changed digest: %s vs %s", got, want)
+	}
+}
+
+func TestGraphDigestSemanticSensitivity(t *testing.T) {
+	base := GraphDigest(digestGraph(t, digestOps, nil))
+
+	mutations := map[string]func(*graph.Op){
+		"cost (bytes)": func(op *graph.Op) {
+			if op.Name == "recv/a" {
+				op.Bytes++
+			}
+		},
+		"cost (flops)": func(op *graph.Op) {
+			if op.Name == "mul" {
+				op.FLOPs *= 2
+			}
+		},
+		"device retag": func(op *graph.Op) {
+			if op.Name == "add" {
+				op.Device = "worker:1"
+			}
+		},
+		"resource retag": func(op *graph.Op) {
+			if op.Name == "recv/b" {
+				op.Resource = "worker:0/net:ps:1"
+			}
+		},
+		"param retag": func(op *graph.Op) {
+			if op.Name == "recv/a" {
+				op.Param = "p/z"
+			}
+		},
+		"kind change": func(op *graph.Op) {
+			if op.Name == "mul" {
+				op.Kind = graph.Read
+			}
+		},
+	}
+	for name, mutate := range mutations {
+		if got := GraphDigest(digestGraph(t, digestOps, mutate)); got == base {
+			t.Errorf("%s: digest unchanged", name)
+		}
+	}
+
+	extraEdge := digestGraph(t, digestOps, nil)
+	extraEdge.MustConnect(extraEdge.Op("recv/a"), extraEdge.Op("add"))
+	if got := GraphDigest(extraEdge); got == base {
+		t.Error("extra edge: digest unchanged")
+	}
+
+	renamed := graph.New()
+	for _, op := range digestGraph(t, digestOps, nil).Ops() {
+		n := renamed.MustAddOp("x/"+op.Name, op.Kind)
+		n.Device, n.Resource, n.Bytes, n.FLOPs, n.Param = op.Device, op.Resource, op.Bytes, op.FLOPs, op.Param
+	}
+	if got := GraphDigest(renamed); got == base {
+		t.Error("renamed ops: digest unchanged")
+	}
+}
+
+func TestGraphDigestOnRealModelGraph(t *testing.T) {
+	// The digest of a generated model graph must be reproducible across
+	// independent builds (the service's cluster cache key depends on it).
+	build := func() *graph.Graph { return digestGraph(t, digestOps, nil) }
+	if GraphDigest(build()) != GraphDigest(build()) {
+		t.Fatal("independent builds of the same graph digest differently")
+	}
+}
+
+func TestPlatformDigest(t *testing.T) {
+	g, c := timing.EnvG(), timing.EnvC()
+	if PlatformDigest(g) != PlatformDigest(timing.EnvG()) {
+		t.Error("EnvG digest not reproducible")
+	}
+	if PlatformDigest(g) == PlatformDigest(c) {
+		t.Error("EnvG and EnvC share a digest")
+	}
+	tweaked := g
+	tweaked.NetBandwidth *= 1.0000001
+	if PlatformDigest(tweaked) == PlatformDigest(g) {
+		t.Error("bandwidth change did not change digest")
+	}
+}
+
+func TestPlatformMapDigest(t *testing.T) {
+	base := timing.NewPlatformMap(timing.EnvG())
+	if PlatformMapDigest(base) != PlatformMapDigest(timing.NewPlatformMap(timing.EnvG())) {
+		t.Error("empty map digest not reproducible")
+	}
+	if PlatformMapDigest(nil) == PlatformMapDigest(base) {
+		t.Error("nil and empty maps must digest differently (empty map carries a default platform)")
+	}
+
+	slow := timing.NewPlatformMap(timing.EnvG()).
+		SetDevice("worker:1", timing.EnvG().SlowedCompute(2))
+	if PlatformMapDigest(slow) == PlatformMapDigest(base) {
+		t.Error("device override did not change digest")
+	}
+	chans := timing.NewPlatformMap(timing.EnvG()).
+		SetChannel("worker:0/net:ps:0", timing.ChannelCost{Bandwidth: 1e8})
+	if PlatformMapDigest(chans) == PlatformMapDigest(base) {
+		t.Error("channel override did not change digest")
+	}
+
+	// Override insertion order must not matter (map iteration is sorted).
+	ab := timing.NewPlatformMap(timing.EnvG()).
+		SetDevice("worker:0", timing.EnvC()).
+		SetDevice("worker:1", timing.EnvG().SlowedCompute(3))
+	ba := timing.NewPlatformMap(timing.EnvG()).
+		SetDevice("worker:1", timing.EnvG().SlowedCompute(3)).
+		SetDevice("worker:0", timing.EnvC())
+	if PlatformMapDigest(ab) != PlatformMapDigest(ba) {
+		t.Error("override insertion order changed digest")
+	}
+}
+
+func TestScheduleDigest(t *testing.T) {
+	s := &Schedule{
+		Algorithm: AlgoTIC,
+		Rank:      map[string]int{"a": 0, "b": 1},
+		Order:     []string{"a", "b"},
+	}
+	same := &Schedule{
+		Algorithm: AlgoTIC,
+		Rank:      map[string]int{"b": 1, "a": 0},
+		Order:     []string{"a", "b"},
+	}
+	if ScheduleDigest(s) != ScheduleDigest(same) {
+		t.Error("equal schedules digest differently")
+	}
+	swapped := &Schedule{
+		Algorithm: AlgoTIC,
+		Rank:      map[string]int{"a": 0, "b": 1},
+		Order:     []string{"b", "a"},
+	}
+	if ScheduleDigest(s) == ScheduleDigest(swapped) {
+		t.Error("order change did not change digest")
+	}
+	if ScheduleDigest(nil) == ScheduleDigest(s) {
+		t.Error("nil schedule shares a digest with a real one")
+	}
+}

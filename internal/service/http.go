@@ -1,0 +1,350 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"tictac/internal/cache"
+	"tictac/internal/cluster"
+	"tictac/internal/sched"
+	"tictac/internal/stats"
+)
+
+// maxBodyBytes bounds request bodies; schedule/simulate requests are a few
+// hundred bytes of JSON, so 1 MiB is generous without inviting abuse.
+const maxBodyBytes = 1 << 20
+
+// endpointMetrics instruments one endpoint.
+type endpointMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	lat      *stats.LatencyRecorder
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", s.instrument("schedule", s.handleSchedule))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("GET /v1/policies", s.instrument("policies", s.handlePolicies))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return mux
+}
+
+// apiError is a client-visible failure with an HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument wraps a handler with request counting, latency recording and
+// uniform JSON error rendering.
+func (s *Service) instrument(name string, fn func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	m := s.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.requests.Add(1)
+		err := fn(w, r)
+		m.lat.Observe(time.Since(start).Seconds())
+		if err == nil {
+			return
+		}
+		m.errors.Add(1)
+		status := http.StatusInternalServerError
+		var ae *apiError
+		if errors.As(err, &ae) {
+			status = ae.status
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // headers are out; nothing useful to do on a write error
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	return nil
+}
+
+// ScheduleResponse is the body of POST /v1/schedule. Result is served from
+// the cache's canonical payload bytes, so identical requests receive
+// byte-identical results whether they hit, miss or coalesce.
+type ScheduleResponse struct {
+	// Cached reports whether this response was served entirely from cache
+	// (no cluster or schedule build ran or was waited on).
+	Cached bool `json:"cached"`
+	// Result is the deterministic schedule payload (see ScheduleResult).
+	Result json.RawMessage `json:"result"`
+}
+
+func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) error {
+	var req ScheduleRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return err
+	}
+	res, err := req.resolve()
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	e, _, cached, err := s.schedule(res)
+	if err != nil {
+		return fmt.Errorf("schedule build: %w", err)
+	}
+	// Hot path: the result payload was marshaled once at build time; frame
+	// it with plain writes instead of re-encoding multi-KB order/rank JSON
+	// on every cache hit.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	prefix := `{"cached":false,"result":`
+	if cached {
+		prefix = `{"cached":true,"result":`
+	}
+	w.Write([]byte(prefix))
+	w.Write(e.payload)
+	w.Write([]byte("}\n"))
+	return nil
+}
+
+// SimulateRequest is the body of POST /v1/simulate: a schedule request plus
+// the experiment protocol to run under it.
+type SimulateRequest struct {
+	ScheduleRequest
+	// WarmupIterations / MeasureIterations set the experiment protocol
+	// (defaults: the paper's 2 warmup / 10 measured).
+	WarmupIterations  int `json:"warmup_iterations,omitempty"`
+	MeasureIterations int `json:"measure_iterations,omitempty"`
+	// Jitter is the relative runtime noise; omitted or null selects the
+	// platform default, 0 disables noise.
+	Jitter *float64 `json:"jitter,omitempty"`
+	// ReorderProb injects gRPC-style priority inversions.
+	ReorderProb float64 `json:"reorder_prob,omitempty"`
+}
+
+// SimulateResult is the deterministic payload of a simulate response.
+type SimulateResult struct {
+	Model   string `json:"model"`
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+	PS      int    `json:"ps"`
+	Env     string `json:"env"`
+	Policy  string `json:"policy"`
+	Seed    int64  `json:"seed"`
+
+	GraphDigest    string `json:"graph_digest"`
+	PlatformDigest string `json:"platform_digest"`
+	ScheduleDigest string `json:"schedule_digest"`
+
+	WarmupIterations  int `json:"warmup_iterations"`
+	MeasureIterations int `json:"measure_iterations"`
+
+	MeanMakespan     float64   `json:"mean_makespan_seconds"`
+	MeanThroughput   float64   `json:"mean_throughput_samples_per_second"`
+	MaxStragglerPct  float64   `json:"max_straggler_pct"`
+	MeanEfficiency   float64   `json:"mean_efficiency"`
+	MinEfficiency    float64   `json:"min_efficiency"`
+	UniqueRecvOrders int       `json:"unique_recv_orders"`
+	ReorderEvents    int       `json:"reorder_events"`
+	Makespans        []float64 `json:"makespans_seconds"`
+}
+
+// SimulateResponse is the body of POST /v1/simulate.
+type SimulateResponse struct {
+	Cached bool           `json:"cached"`
+	Result SimulateResult `json:"result"`
+}
+
+// simulate runs the experiment protocol for a validated request, reusing
+// the cached cluster (and its shared sim.Runner) and the cached schedule.
+func (s *Service) simulate(req SimulateRequest, res resolved) (*SimulateResponse, error) {
+	warmup, measure := req.WarmupIterations, req.MeasureIterations
+	if warmup <= 0 {
+		warmup = cluster.DefaultExperiment.Warmup
+	}
+	if measure <= 0 {
+		measure = cluster.DefaultExperiment.Measure
+	}
+	if measure > 1000 || warmup > 1000 {
+		return nil, badRequest("iteration counts are capped at 1000")
+	}
+	if req.ReorderProb < 0 || req.ReorderProb > 1 {
+		return nil, badRequest("reorder_prob must be in [0, 1]")
+	}
+	jitter := -1.0 // platform default
+	if req.Jitter != nil {
+		if *req.Jitter < 0 || *req.Jitter > 1 {
+			return nil, badRequest("jitter must be in [0, 1]")
+		}
+		jitter = *req.Jitter
+	}
+	e, ce, cached, err := s.schedule(res)
+	if err != nil {
+		return nil, fmt.Errorf("schedule build: %w", err)
+	}
+	out, err := ce.c.Run(cluster.Experiment{Warmup: warmup, Measure: measure}, cluster.RunOptions{
+		Schedule:    e.sched,
+		Seed:        res.seed,
+		Jitter:      jitter,
+		ReorderProb: req.ReorderProb,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("simulate: %w", err)
+	}
+	result := SimulateResult{
+		Model:             e.result.Model,
+		Mode:              e.result.Mode,
+		Workers:           e.result.Workers,
+		PS:                e.result.PS,
+		Env:               e.result.Env,
+		Policy:            e.result.Policy,
+		Seed:              res.seed,
+		GraphDigest:       e.result.GraphDigest,
+		PlatformDigest:    e.result.PlatformDigest,
+		ScheduleDigest:    e.result.ScheduleDigest,
+		WarmupIterations:  warmup,
+		MeasureIterations: measure,
+		MeanMakespan:      out.MeanMakespan,
+		MeanThroughput:    out.MeanThroughput,
+		MaxStragglerPct:   out.MaxStragglerPct,
+		MeanEfficiency:    out.MeanEfficiency,
+		MinEfficiency:     out.MinEfficiency,
+		UniqueRecvOrders:  out.UniqueRecvOrders,
+		Makespans:         make([]float64, 0, len(out.Iterations)),
+	}
+	for _, it := range out.Iterations {
+		result.Makespans = append(result.Makespans, it.Makespan)
+		result.ReorderEvents += it.ReorderEvents
+	}
+	return &SimulateResponse{Cached: cached, Result: result}, nil
+}
+
+func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) error {
+	var req SimulateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return err
+	}
+	res, err := req.resolve()
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	resp, err := s.simulate(req, res)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// PoliciesResponse is the body of GET /v1/policies.
+type PoliciesResponse struct {
+	// Policies lists every registered scheduling policy in canonical order.
+	Policies []string `json:"policies"`
+	// Baseline is the selector for the unscheduled baseline ("none").
+	Baseline string `json:"baseline"`
+}
+
+func (s *Service) handlePolicies(w http.ResponseWriter, _ *http.Request) error {
+	writeJSON(w, http.StatusOK, PoliciesResponse{Policies: sched.Names(), Baseline: sched.None})
+	return nil
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", UptimeSeconds: time.Since(s.start).Seconds()})
+	return nil
+}
+
+// CacheCounters mirrors cache.Stats for /metrics, with derived fields.
+type CacheCounters struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	Evictions uint64  `json:"evictions"`
+	Errors    uint64  `json:"errors"`
+	Resident  int     `json:"resident"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func counters(st cache.Stats, resident int) CacheCounters {
+	return CacheCounters{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Coalesced: st.Coalesced,
+		Evictions: st.Evictions,
+		Errors:    st.Errors,
+		Resident:  resident,
+		HitRate:   st.HitRate(),
+	}
+}
+
+// EndpointSnapshot is one endpoint's /metrics entry.
+type EndpointSnapshot struct {
+	Count          uint64               `json:"count"`
+	Errors         uint64               `json:"errors"`
+	LatencySeconds stats.LatencySummary `json:"latency_seconds"`
+}
+
+// MetricsResponse is the body of GET /metrics.
+type MetricsResponse struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Requests      map[string]EndpointSnapshot `json:"requests"`
+	Cache         struct {
+		Clusters  CacheCounters `json:"clusters"`
+		Schedules CacheCounters `json:"schedules"`
+	} `json:"cache"`
+	Builds struct {
+		Clusters  uint64 `json:"clusters"`
+		Schedules uint64 `json:"schedules"`
+	} `json:"builds"`
+}
+
+// Metrics returns the current metrics snapshot (the /metrics payload).
+func (s *Service) Metrics() MetricsResponse {
+	resp := MetricsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      make(map[string]EndpointSnapshot, len(s.endpoints)),
+	}
+	for name, m := range s.endpoints {
+		resp.Requests[name] = EndpointSnapshot{
+			Count:          m.requests.Load(),
+			Errors:         m.errors.Load(),
+			LatencySeconds: m.lat.Snapshot(),
+		}
+	}
+	resp.Cache.Clusters = counters(s.clusters.Stats(), s.clusters.Len())
+	resp.Cache.Schedules = counters(s.schedules.Stats(), s.schedules.Len())
+	resp.Builds.Clusters = s.clusterBuilds.Load()
+	resp.Builds.Schedules = s.scheduleBuilds.Load()
+	return resp
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
+	writeJSON(w, http.StatusOK, s.Metrics())
+	return nil
+}

@@ -1,0 +1,245 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+	"tictac/internal/stats"
+)
+
+// LoadOptions configures RunLoad, the deterministic load generator behind
+// `tictacd -loadtest` and the CI service-smoke job.
+type LoadOptions struct {
+	// Target is the base URL of a running tictacd, e.g.
+	// "http://127.0.0.1:8080".
+	Target string
+	// Requests is the total number of schedule requests to fire
+	// (default 200).
+	Requests int
+	// Concurrency is the number of concurrent client workers (default 16).
+	Concurrency int
+	// Seed parameterizes the workload's request seeds; the workload itself
+	// (which configs, in which slots) is a pure function of the options.
+	Seed int64
+	// Models are the Table 1 model names to request (default: a small
+	// fast trio).
+	Models []string
+	// Policies are the scheduling policies to request (default tic and
+	// critical-path — analytic policies, so the direct-reference
+	// computation stays cheap).
+	Policies []string
+	// Client overrides the HTTP client (default: 30s timeout).
+	Client *http.Client
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Requests <= 0 {
+		o.Requests = 200
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 16
+	}
+	if len(o.Models) == 0 {
+		o.Models = []string{"AlexNet v2", "Inception v1", "ResNet-50 v1"}
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = []string{"tic", "critical-path"}
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return o
+}
+
+// LoadReport summarizes one load run. Failures are transport/HTTP errors;
+// Mismatches are responses whose result payload differed from the direct
+// library computation — the determinism contract violation the generator
+// exists to catch.
+type LoadReport struct {
+	Target          string               `json:"target"`
+	Requests        int                  `json:"requests"`
+	Concurrency     int                  `json:"concurrency"`
+	DistinctConfigs int                  `json:"distinct_configs"`
+	Failures        int                  `json:"failures"`
+	Mismatches      int                  `json:"mismatches"`
+	CachedResponses int                  `json:"cached_responses"`
+	DurationSeconds float64              `json:"duration_seconds"`
+	Latency         stats.LatencySummary `json:"latency_seconds"`
+	// Server-side view, read from /metrics after the run.
+	ServerScheduleBuilds uint64  `json:"server_schedule_builds"`
+	ServerCacheHitRate   float64 `json:"server_schedule_cache_hit_rate"`
+}
+
+// Err returns nil when the run upheld the service contract: every request
+// succeeded, every response matched the direct library computation
+// byte-for-byte, and the server's schedule cache absorbed repeats.
+func (r *LoadReport) Err() error {
+	if r.Failures > 0 {
+		return fmt.Errorf("loadtest: %d/%d requests failed", r.Failures, r.Requests)
+	}
+	if r.Mismatches > 0 {
+		return fmt.Errorf("loadtest: %d responses diverged from direct library computation", r.Mismatches)
+	}
+	if r.Requests > r.DistinctConfigs && r.ServerCacheHitRate <= 0 {
+		return fmt.Errorf("loadtest: schedule cache hit rate is zero across %d requests over %d configs", r.Requests, r.DistinctConfigs)
+	}
+	return nil
+}
+
+// RunLoad hammers a running tictacd with a deterministic request mix and
+// verifies every response against a direct library call.
+//
+// The workload cycles through the cross product of Models × Policies
+// (workers=2, ps=1), so with Requests > distinct configs the server must
+// serve repeats from cache. For each distinct config the expected result is
+// computed once, in-process, through the exact same code path the server's
+// cache build uses (cluster.Build → ComputeSchedule → one predicted
+// iteration) — a response that differs in any byte is a mismatch.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	opts = opts.withDefaults()
+	if opts.Target == "" {
+		return nil, fmt.Errorf("loadtest: no target URL")
+	}
+
+	// The deterministic request mix plus its direct-library references.
+	type workItem struct {
+		req      ScheduleRequest
+		expected []byte // compact canonical ScheduleResult payload
+	}
+	var items []workItem
+	for _, m := range opts.Models {
+		for _, p := range opts.Policies {
+			req := ScheduleRequest{Model: m, Policy: p, Workers: 2, PS: 1, Seed: opts.Seed}
+			res, err := req.resolve()
+			if err != nil {
+				return nil, fmt.Errorf("loadtest: bad workload request: %w", err)
+			}
+			c, err := cluster.Build(res.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("loadtest: direct build: %w", err)
+			}
+			entry, err := computeScheduleResult(&clusterEntry{
+				c:              c,
+				graphDigest:    core.GraphDigest(c.Graph),
+				platformDigest: core.PlatformDigest(res.cfg.Platform),
+			}, res)
+			if err != nil {
+				return nil, fmt.Errorf("loadtest: direct schedule: %w", err)
+			}
+			items = append(items, workItem{req: req, expected: entry.payload})
+		}
+	}
+
+	report := &LoadReport{
+		Target:          opts.Target,
+		Requests:        opts.Requests,
+		Concurrency:     opts.Concurrency,
+		DistinctConfigs: len(items),
+	}
+	var failures, mismatches, cached atomic.Int64
+	lat := stats.NewLatencyRecorder(opts.Requests)
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				item := items[i%len(items)]
+				t0 := time.Now()
+				gotCached, err := postSchedule(opts.Client, opts.Target, item.req, item.expected)
+				lat.Observe(time.Since(t0).Seconds())
+				switch {
+				case errors.Is(err, errMismatch):
+					mismatches.Add(1)
+				case err != nil:
+					failures.Add(1)
+				case gotCached:
+					cached.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < opts.Requests; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	report.DurationSeconds = time.Since(start).Seconds()
+	report.Failures = int(failures.Load())
+	report.Mismatches = int(mismatches.Load())
+	report.CachedResponses = int(cached.Load())
+	report.Latency = lat.Snapshot()
+
+	// Server-side cache view.
+	metrics, err := fetchMetrics(opts.Client, opts.Target)
+	if err != nil {
+		return report, fmt.Errorf("loadtest: fetch metrics: %w", err)
+	}
+	report.ServerScheduleBuilds = metrics.Builds.Schedules
+	report.ServerCacheHitRate = metrics.Cache.Schedules.HitRate
+	return report, nil
+}
+
+// errMismatch distinguishes contract violations from transport failures.
+var errMismatch = errors.New("response diverged from direct library computation")
+
+// postSchedule sends one schedule request and verifies the response payload
+// against the expected canonical bytes.
+func postSchedule(client *http.Client, target string, req ScheduleRequest, expected []byte) (cached bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false, err
+	}
+	resp, err := client.Post(target+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("status %d: %s", resp.StatusCode, payload)
+	}
+	var sr ScheduleResponse
+	if err := json.Unmarshal(payload, &sr); err != nil {
+		return false, err
+	}
+	// The transport re-indents nested JSON; compare canonical compact forms.
+	var got bytes.Buffer
+	if err := json.Compact(&got, sr.Result); err != nil {
+		return false, err
+	}
+	if !bytes.Equal(got.Bytes(), expected) {
+		return sr.Cached, errMismatch
+	}
+	return sr.Cached, nil
+}
+
+func fetchMetrics(client *http.Client, target string) (*MetricsResponse, error) {
+	resp, err := client.Get(target + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var m MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

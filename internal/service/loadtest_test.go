@@ -1,0 +1,109 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// corruptingProxy forwards to the real service but flips one byte of every
+// schedule result — simulating a server that violates the determinism
+// contract.
+type corruptingProxy struct {
+	inner http.Handler
+}
+
+func (p corruptingProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/schedule" {
+		p.inner.ServeHTTP(w, r)
+		return
+	}
+	rec := httptest.NewRecorder()
+	p.inner.ServeHTTP(rec, r)
+	body := bytes.Replace(rec.Body.Bytes(), []byte(`"envG"`), []byte(`"envX"`), 1)
+	for k, vs := range rec.Header() {
+		if k == "Content-Length" {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.Code)
+	w.Write(body)
+}
+
+func TestRunLoadAgainstInProcessServer(t *testing.T) {
+	svc, ts := newTestServer(t, Options{})
+	report, err := RunLoad(LoadOptions{
+		Target:      ts.URL,
+		Requests:    60,
+		Concurrency: 8,
+		Seed:        1,
+		Models:      []string{"AlexNet v2", "Inception v1"},
+		Policies:    []string{"tic"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Err(); err != nil {
+		t.Fatalf("contract violated: %v (report %+v)", err, report)
+	}
+	if report.DistinctConfigs != 2 {
+		t.Errorf("distinct configs = %d, want 2", report.DistinctConfigs)
+	}
+	if report.Failures != 0 || report.Mismatches != 0 {
+		t.Errorf("failures/mismatches = %d/%d, want 0/0", report.Failures, report.Mismatches)
+	}
+	// 60 requests over 2 configs: the cache must have absorbed the repeats.
+	if report.ServerScheduleBuilds != 2 {
+		t.Errorf("server built %d schedules for 2 distinct configs", report.ServerScheduleBuilds)
+	}
+	if report.ServerCacheHitRate <= 0.9 {
+		t.Errorf("server cache hit rate = %v, want > 0.9 for 60 requests / 2 configs", report.ServerCacheHitRate)
+	}
+	if report.CachedResponses == 0 {
+		t.Error("no response reported cached=true")
+	}
+	if report.Latency.Count != 60 || report.Latency.P99 <= 0 {
+		t.Errorf("latency summary = %+v, want 60 samples", report.Latency)
+	}
+	_, schedBuilds := svc.BuildCounts()
+	if schedBuilds != 2 {
+		t.Errorf("service built %d schedules, want 2", schedBuilds)
+	}
+}
+
+// TestRunLoadDetectsDivergence points the generator at a server that
+// corrupts one field of every response; the report must flag mismatches.
+func TestRunLoadDetectsDivergence(t *testing.T) {
+	svc := New(Options{})
+	inner := svc.Handler()
+	ts := httptest.NewServer(corruptingProxy{inner: inner})
+	defer ts.Close()
+
+	report, err := RunLoad(LoadOptions{
+		Target:      ts.URL,
+		Requests:    10,
+		Concurrency: 2,
+		Models:      []string{"AlexNet v2"},
+		Policies:    []string{"tic"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Mismatches != 10 {
+		t.Errorf("mismatches = %d, want 10 (every response was corrupted)", report.Mismatches)
+	}
+	if report.Err() == nil {
+		t.Error("report.Err() = nil for a diverging server")
+	}
+}
+
+func TestRunLoadRequiresTarget(t *testing.T) {
+	if _, err := RunLoad(LoadOptions{}); err == nil || !strings.Contains(err.Error(), "target") {
+		t.Fatalf("err = %v, want missing-target error", err)
+	}
+}

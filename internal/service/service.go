@@ -1,0 +1,375 @@
+// Package service is the long-running scheduling daemon behind cmd/tictacd:
+// an HTTP/JSON facade over the TicTac library that serves schedule requests
+// and what-if simulations under heavy concurrent traffic.
+//
+// Endpoints (see docs/service.md for the full API reference):
+//
+//	POST /v1/schedule   compute a transfer schedule + predicted makespan
+//	POST /v1/simulate   run the warmup/measure experiment protocol
+//	GET  /v1/policies   list registered scheduling policies
+//	GET  /healthz       liveness probe
+//	GET  /metrics       request counts, cache hit rates, p50/p99 latency
+//
+// Two content-addressed caches (internal/cache: sharded LRU + singleflight)
+// sit under the handlers. Clusters are cached by their full build
+// configuration; schedules by (graph digest, platform digest, policy,
+// warmup, seed) — the digest keying means two requests share a schedule
+// slot exactly when they are semantically identical, however they were
+// phrased (e.g. batch_factor 0 and 1 resolve to the same graph). Concurrent
+// identical requests coalesce onto one build; a cached cluster also carries
+// the shared sim.Runner pool every simulation of that graph reuses.
+//
+// Determinism contract: every response body is a pure function of the
+// request. All randomness derives from the request seed, predicted
+// makespans are simulated with zero jitter unless the request says
+// otherwise, and cached responses are byte-identical to freshly built ones
+// (the loadtest in this package and the CI service-smoke job hold the
+// server to that).
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"tictac/internal/cache"
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+	"tictac/internal/model"
+	"tictac/internal/sched"
+	"tictac/internal/stats"
+	"tictac/internal/timing"
+)
+
+// Options configures a Service. The zero value selects sensible defaults.
+type Options struct {
+	// CacheCapacity bounds each cache's resident entries (clusters and
+	// schedules independently). <= 0 selects DefaultCacheCapacity.
+	CacheCapacity int
+	// Shards is the cache shard count. <= 0 selects DefaultShards.
+	Shards int
+	// LatencyWindow is the per-endpoint latency sample window for /metrics
+	// percentiles. <= 0 selects stats.DefaultLatencyWindow.
+	LatencyWindow int
+}
+
+// Default cache geometry: capacities sized for the Table 1 catalog times a
+// policy sweep with room to spare, sharded to keep lock contention off the
+// hot path.
+const (
+	DefaultCacheCapacity = 256
+	DefaultShards        = 8
+)
+
+// Service implements the tictacd HTTP API. Create with New; the zero value
+// is not usable. A Service is safe for concurrent use by any number of
+// in-flight requests.
+type Service struct {
+	opts  Options
+	start time.Time
+
+	clusters  *cache.Cache[cluster.Config, *clusterEntry]
+	schedules *cache.Cache[scheduleKey, *scheduleEntry]
+
+	clusterBuilds  atomic.Uint64
+	scheduleBuilds atomic.Uint64
+
+	// scheduleBuildHook, when non-nil, runs inside every schedule build
+	// (test instrumentation for coalescing proofs).
+	scheduleBuildHook func()
+
+	endpoints map[string]*endpointMetrics
+}
+
+// clusterEntry is a built cluster plus the digests derived from it once.
+// The embedded Cluster carries the shared, concurrency-safe sim.Runner that
+// every simulation of this graph reuses.
+type clusterEntry struct {
+	c              *cluster.Cluster
+	graphDigest    string
+	platformDigest string
+}
+
+// scheduleKey is the schedule-cache key mandated by the determinism
+// contract: content digests, not request phrasing.
+type scheduleKey struct {
+	graphDigest    string
+	platformDigest string
+	policy         string
+	warmup         int
+	seed           int64
+}
+
+// scheduleEntry is a computed schedule plus its canonical response payload.
+// payload is marshaled exactly once at build time, so every response for
+// this key — hit, miss or coalesced — serves the same bytes.
+type scheduleEntry struct {
+	sched   *core.Schedule
+	result  ScheduleResult
+	payload []byte
+}
+
+// New returns a Service with the given options.
+func New(opts Options) *Service {
+	if opts.CacheCapacity <= 0 {
+		opts.CacheCapacity = DefaultCacheCapacity
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
+	s := &Service{
+		opts:      opts,
+		start:     time.Now(),
+		clusters:  cache.New[cluster.Config, *clusterEntry](opts.Shards, opts.CacheCapacity),
+		schedules: cache.New[scheduleKey, *scheduleEntry](opts.Shards, opts.CacheCapacity),
+		endpoints: make(map[string]*endpointMetrics),
+	}
+	for _, name := range []string{"schedule", "simulate", "policies", "healthz", "metrics"} {
+		s.endpoints[name] = &endpointMetrics{lat: stats.NewLatencyRecorder(opts.LatencyWindow)}
+	}
+	return s
+}
+
+// ScheduleRequest is the body of POST /v1/schedule and the cluster-shaped
+// core of POST /v1/simulate. Zero fields take documented defaults; see
+// docs/service.md.
+type ScheduleRequest struct {
+	// Model is a Table 1 model name, e.g. "ResNet-50 v2". Required.
+	Model string `json:"model"`
+	// Mode is "training" (default) or "inference".
+	Mode string `json:"mode,omitempty"`
+	// Workers / PS size the cluster (both default to 1).
+	Workers int `json:"workers,omitempty"`
+	PS      int `json:"ps,omitempty"`
+	// BatchFactor scales the model's standard batch size (0 = 1).
+	BatchFactor float64 `json:"batch_factor,omitempty"`
+	// Iterations chains back-to-back iterations into one graph (0 or 1 =
+	// single iteration).
+	Iterations int `json:"iterations,omitempty"`
+	// SharedPSNIC selects the shared-PS-NIC network model.
+	SharedPSNIC bool `json:"shared_ps_nic,omitempty"`
+	// Env is the platform profile: "envG" (default) or "envC".
+	Env string `json:"env,omitempty"`
+	// Policy is a registered scheduling policy name, or "none" for the
+	// unscheduled baseline. Default "tic".
+	Policy string `json:"policy,omitempty"`
+	// Warmup is the traced-warmup iteration count for oracle policies
+	// (tac); 0 selects the library default.
+	Warmup int `json:"warmup,omitempty"`
+	// Seed feeds every random choice derived from this request.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// resolved is a validated, normalized request: the exact cluster build
+// configuration plus the normalized names echoed in responses.
+type resolved struct {
+	cfg    cluster.Config
+	mode   string
+	env    string
+	policy string
+	warmup int
+	seed   int64
+}
+
+// resolve validates the request and normalizes it into a build
+// configuration. All failures are client errors.
+func (req ScheduleRequest) resolve() (resolved, error) {
+	var r resolved
+	spec, ok := model.ByName(req.Model)
+	if !ok {
+		return r, fmt.Errorf("unknown model %q (GET /v1/policies lists policies; see Table 1 for models)", req.Model)
+	}
+	var mode model.Mode
+	switch strings.ToLower(req.Mode) {
+	case "", "training", "train":
+		mode, r.mode = model.Training, "training"
+	case "inference", "infer":
+		mode, r.mode = model.Inference, "inference"
+	default:
+		return r, fmt.Errorf("unknown mode %q (training|inference)", req.Mode)
+	}
+	var platform timing.Platform
+	switch strings.ToLower(req.Env) {
+	case "", "envg":
+		platform, r.env = timing.EnvG(), "envG"
+	case "envc":
+		platform, r.env = timing.EnvC(), "envC"
+	default:
+		return r, fmt.Errorf("unknown env %q (envG|envC)", req.Env)
+	}
+	r.policy = strings.ToLower(strings.TrimSpace(req.Policy))
+	if r.policy == "" {
+		r.policy = sched.TIC
+	}
+	if r.policy != sched.None {
+		if _, err := sched.New(r.policy, 0); err != nil {
+			return r, err
+		}
+	}
+	workers, ps := req.Workers, req.PS
+	if workers == 0 {
+		workers = 1
+	}
+	if ps == 0 {
+		ps = 1
+	}
+	if workers < 1 || ps < 1 {
+		return r, fmt.Errorf("workers and ps must be >= 1 (got %d, %d)", req.Workers, req.PS)
+	}
+	if req.BatchFactor < 0 {
+		return r, fmt.Errorf("batch_factor must be >= 0 (got %g)", req.BatchFactor)
+	}
+	if req.Iterations < 0 || req.Iterations > 64 {
+		return r, fmt.Errorf("iterations must be in [0, 64] (got %d)", req.Iterations)
+	}
+	if req.Warmup < 0 || req.Warmup > 100 {
+		return r, fmt.Errorf("warmup must be in [0, 100] (got %d)", req.Warmup)
+	}
+	const maxDevices = 64
+	if workers*ps > maxDevices*maxDevices || workers > maxDevices || ps > maxDevices {
+		return r, fmt.Errorf("cluster too large: workers and ps are capped at %d each", maxDevices)
+	}
+	r.cfg = cluster.Config{
+		Model:       spec,
+		Mode:        mode,
+		Workers:     workers,
+		PS:          ps,
+		BatchFactor: req.BatchFactor,
+		Platform:    platform,
+		Iterations:  req.Iterations,
+		SharedPSNIC: req.SharedPSNIC,
+	}
+	r.warmup = req.Warmup
+	r.seed = req.Seed
+	return r, nil
+}
+
+// buildCluster returns the cached cluster for the resolved configuration,
+// building (and digesting) it at most once per residency.
+func (s *Service) buildCluster(r resolved) (*clusterEntry, cache.Outcome, error) {
+	return s.clusters.Do(r.cfg, func() (*clusterEntry, error) {
+		s.clusterBuilds.Add(1)
+		c, err := cluster.Build(r.cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &clusterEntry{
+			c:              c,
+			graphDigest:    core.GraphDigest(c.Graph),
+			platformDigest: core.PlatformDigest(r.cfg.Platform),
+		}, nil
+	})
+}
+
+// ScheduleResult is the deterministic payload of a schedule response: a
+// pure function of the request, cached and served byte-identically to every
+// requester of the same semantic content.
+type ScheduleResult struct {
+	Model   string `json:"model"`
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+	PS      int    `json:"ps"`
+	Env     string `json:"env"`
+	Policy  string `json:"policy"`
+	Seed    int64  `json:"seed"`
+
+	GraphDigest    string `json:"graph_digest"`
+	PlatformDigest string `json:"platform_digest"`
+	ScheduleDigest string `json:"schedule_digest"`
+
+	Algorithm string         `json:"algorithm"`
+	Transfers int            `json:"transfers"`
+	Order     []string       `json:"order"`
+	Rank      map[string]int `json:"rank"`
+
+	// PredictedMakespan is one simulated iteration under the schedule with
+	// zero jitter and the request seed, in seconds.
+	PredictedMakespan float64 `json:"predicted_makespan_seconds"`
+}
+
+// computeScheduleResult is the single code path that turns a built cluster
+// into a schedule response — the cache's build function AND the loadtest's
+// direct-library reference both call it, so "byte-identical to a direct
+// library call" is enforced structurally.
+func computeScheduleResult(ce *clusterEntry, r resolved) (*scheduleEntry, error) {
+	sc, err := ce.c.ComputeSchedule(r.policy, r.warmup, r.seed)
+	if err != nil {
+		return nil, err
+	}
+	it, err := ce.c.RunIteration(cluster.RunOptions{Schedule: sc, Seed: r.seed, Jitter: 0})
+	if err != nil {
+		return nil, err
+	}
+	result := ScheduleResult{
+		Model:             ce.c.Config.Model.Name,
+		Mode:              r.mode,
+		Workers:           ce.c.Config.Workers,
+		PS:                ce.c.Config.PS,
+		Env:               r.env,
+		Policy:            r.policy,
+		Seed:              r.seed,
+		GraphDigest:       ce.graphDigest,
+		PlatformDigest:    ce.platformDigest,
+		ScheduleDigest:    core.ScheduleDigest(sc),
+		Algorithm:         string(core.AlgoNone),
+		Order:             []string{},
+		Rank:              map[string]int{},
+		PredictedMakespan: it.Makespan,
+	}
+	if sc != nil {
+		result.Algorithm = string(sc.Algorithm)
+		result.Order = sc.Order
+		result.Rank = sc.Rank
+		result.Transfers = len(sc.Order)
+	}
+	payload, err := json.Marshal(result)
+	if err != nil {
+		return nil, err
+	}
+	return &scheduleEntry{sched: sc, result: result, payload: payload}, nil
+}
+
+// schedule returns the cached schedule entry for the resolved request plus
+// the cluster entry it was computed on (so callers like simulate don't pay
+// a second cluster-cache lookup), reporting whether any build work happened
+// on this call's behalf.
+func (s *Service) schedule(r resolved) (*scheduleEntry, *clusterEntry, bool, error) {
+	ce, clusterOutcome, err := s.buildCluster(r)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	key := scheduleKey{
+		graphDigest:    ce.graphDigest,
+		platformDigest: ce.platformDigest,
+		policy:         r.policy,
+		warmup:         r.warmup,
+		seed:           r.seed,
+	}
+	e, outcome, err := s.schedules.Do(key, func() (*scheduleEntry, error) {
+		s.scheduleBuilds.Add(1)
+		if s.scheduleBuildHook != nil {
+			s.scheduleBuildHook()
+		}
+		return computeScheduleResult(ce, r)
+	})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	cached := outcome == cache.Hit && clusterOutcome == cache.Hit
+	return e, ce, cached, nil
+}
+
+// BuildCounts reports how many cluster and schedule builds the service has
+// executed (cache misses that reached the library). The concurrency tests
+// use this to prove request coalescing: N identical in-flight requests must
+// add exactly 1.
+func (s *Service) BuildCounts() (clusters, schedules uint64) {
+	return s.clusterBuilds.Load(), s.scheduleBuilds.Load()
+}
+
+// CacheStats returns snapshots of the cluster and schedule caches.
+func (s *Service) CacheStats() (clusters, schedules cache.Stats) {
+	return s.clusters.Stats(), s.schedules.Stats()
+}

@@ -1,0 +1,419 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(opts)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, payload
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, payload
+}
+
+// directScheduleResult computes the expected canonical payload for a
+// request straight through the library, bypassing the service entirely.
+func directScheduleResult(t *testing.T, req ScheduleRequest) []byte {
+	t.Helper()
+	res, err := req.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.Build(res.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := computeScheduleResult(&clusterEntry{
+		c:              c,
+		graphDigest:    core.GraphDigest(c.Graph),
+		platformDigest: core.PlatformDigest(res.cfg.Platform),
+	}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entry.payload
+}
+
+// compactResult extracts and compacts the "result" member of a response.
+func compactResult(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	var resp ScheduleResponse
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		t.Fatalf("decode response: %v\n%s", err, payload)
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, resp.Result); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestScheduleEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := ScheduleRequest{Model: "AlexNet v2", Policy: "tic", Workers: 2, PS: 1, Seed: 1}
+
+	resp, payload := post(t, ts.URL+"/v1/schedule", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, payload)
+	}
+	var sr ScheduleResponse
+	if err := json.Unmarshal(payload, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cached {
+		t.Error("first request reported cached=true")
+	}
+	var result ScheduleResult
+	if err := json.Unmarshal(sr.Result, &result); err != nil {
+		t.Fatal(err)
+	}
+	if result.Algorithm != "tic" || result.Transfers != 16 || len(result.Order) != 16 {
+		t.Errorf("result = algo %q, %d transfers (want tic over AlexNet's 16 params)", result.Algorithm, result.Transfers)
+	}
+	if result.PredictedMakespan <= 0 {
+		t.Errorf("predicted makespan = %v, want > 0", result.PredictedMakespan)
+	}
+	if len(result.GraphDigest) != 64 || len(result.PlatformDigest) != 64 {
+		t.Errorf("digests not hex sha256: %q %q", result.GraphDigest, result.PlatformDigest)
+	}
+
+	// Byte-identical to the direct library computation.
+	if got, want := compactResult(t, payload), directScheduleResult(t, req); !bytes.Equal(got, want) {
+		t.Errorf("served result differs from direct library call:\n got %s\nwant %s", got, want)
+	}
+
+	// The repeat must be a cache hit with the identical payload.
+	resp2, payload2 := post(t, ts.URL+"/v1/schedule", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp2.StatusCode)
+	}
+	var sr2 ScheduleResponse
+	if err := json.Unmarshal(payload2, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	if !sr2.Cached {
+		t.Error("repeat request reported cached=false")
+	}
+	if !bytes.Equal(compactResult(t, payload), compactResult(t, payload2)) {
+		t.Error("cached payload differs from first response")
+	}
+}
+
+func TestScheduleDigestKeyUnifiesEquivalentRequests(t *testing.T) {
+	// batch_factor 0 and 1 resolve to the same batch; iterations 0 and 1 to
+	// the same graph. Digest keying must land them in one cache slot.
+	svc, ts := newTestServer(t, Options{})
+	a := ScheduleRequest{Model: "AlexNet v2", Policy: "tic", Seed: 1}
+	b := ScheduleRequest{Model: "AlexNet v2", Policy: "tic", Seed: 1, BatchFactor: 1, Iterations: 1}
+	post(t, ts.URL+"/v1/schedule", a)
+	_, payloadB := post(t, ts.URL+"/v1/schedule", b)
+	var sr ScheduleResponse
+	if err := json.Unmarshal(payloadB, &sr); err != nil {
+		t.Fatal(err)
+	}
+	_, schedBuilds := svc.BuildCounts()
+	if schedBuilds != 1 {
+		t.Errorf("semantically identical requests built %d schedules, want 1", schedBuilds)
+	}
+	// The clusters differ as Config values, so two cluster builds are
+	// expected — but they digest identically, which is what unified the
+	// schedule slot.
+	clBuilds, _ := svc.BuildCounts()
+	if clBuilds != 2 {
+		t.Errorf("cluster builds = %d, want 2 (distinct Config values)", clBuilds)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"unknown model", `{"model": "NoSuchNet"}`},
+		{"unknown policy", `{"model": "AlexNet v2", "policy": "quantum"}`},
+		{"unknown mode", `{"model": "AlexNet v2", "mode": "dreaming"}`},
+		{"unknown env", `{"model": "AlexNet v2", "env": "envZ"}`},
+		{"negative workers", `{"model": "AlexNet v2", "workers": -1}`},
+		{"oversized cluster", `{"model": "AlexNet v2", "workers": 10000}`},
+		{"unknown field", `{"model": "AlexNet v2", "wrokers": 2}`},
+		{"malformed json", `{"model": `},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, payload)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(payload, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body not JSON {error}: %s", tc.name, payload)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/schedule status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := SimulateRequest{
+		ScheduleRequest:   ScheduleRequest{Model: "AlexNet v2", Policy: "tic", Workers: 2, Seed: 7},
+		WarmupIterations:  1,
+		MeasureIterations: 3,
+	}
+	resp, payload := post(t, ts.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, payload)
+	}
+	var sim SimulateResponse
+	if err := json.Unmarshal(payload, &sim); err != nil {
+		t.Fatal(err)
+	}
+	r := sim.Result
+	if r.MeanMakespan <= 0 || r.MeanThroughput <= 0 {
+		t.Errorf("degenerate simulate result: %+v", r)
+	}
+	if len(r.Makespans) != 3 {
+		t.Errorf("got %d measured makespans, want 3", len(r.Makespans))
+	}
+	if r.MeanEfficiency <= 0 || r.MeanEfficiency > 1 {
+		t.Errorf("efficiency %v out of (0, 1]", r.MeanEfficiency)
+	}
+
+	// Determinism: the same request must return identical bytes.
+	_, payload2 := post(t, ts.URL+"/v1/simulate", req)
+	var sim2 SimulateResponse
+	if err := json.Unmarshal(payload2, &sim2); err != nil {
+		t.Fatal(err)
+	}
+	if !sim2.Cached {
+		t.Error("repeat simulate reported cached=false")
+	}
+	b1, _ := json.Marshal(sim.Result)
+	b2, _ := json.Marshal(sim2.Result)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("simulate not deterministic:\n%s\n%s", b1, b2)
+	}
+
+	// Baseline (none) must differ from tic in schedule digest and carry no
+	// order.
+	base := req
+	base.Policy = "none"
+	_, payload3 := post(t, ts.URL+"/v1/simulate", base)
+	var sim3 SimulateResponse
+	if err := json.Unmarshal(payload3, &sim3); err != nil {
+		t.Fatal(err)
+	}
+	if sim3.Result.ScheduleDigest == sim.Result.ScheduleDigest {
+		t.Error("baseline and tic share a schedule digest")
+	}
+}
+
+func TestPoliciesHealthzMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	resp, payload := get(t, ts.URL+"/v1/policies")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("policies status %d", resp.StatusCode)
+	}
+	var pol PoliciesResponse
+	if err := json.Unmarshal(payload, &pol); err != nil {
+		t.Fatal(err)
+	}
+	if pol.Baseline != "none" || len(pol.Policies) < 7 {
+		t.Errorf("policies = %+v, want baseline none and the 7 built-ins", pol)
+	}
+	found := false
+	for _, p := range pol.Policies {
+		if p == "tac" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tac missing from policy list")
+	}
+
+	resp, payload = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(payload), `"ok"`) {
+		t.Errorf("healthz = %d %s", resp.StatusCode, payload)
+	}
+
+	// Drive one schedule request, then check the metrics reflect it.
+	post(t, ts.URL+"/v1/schedule", ScheduleRequest{Model: "AlexNet v2"})
+	resp, payload = get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var m MetricsResponse
+	if err := json.Unmarshal(payload, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests["schedule"].Count != 1 {
+		t.Errorf("schedule count = %d, want 1", m.Requests["schedule"].Count)
+	}
+	if m.Requests["schedule"].LatencySeconds.Count != 1 || m.Requests["schedule"].LatencySeconds.P50 <= 0 {
+		t.Errorf("schedule latency not recorded: %+v", m.Requests["schedule"].LatencySeconds)
+	}
+	if m.Builds.Schedules != 1 || m.Cache.Schedules.Misses != 1 {
+		t.Errorf("builds/misses = %d/%d, want 1/1", m.Builds.Schedules, m.Cache.Schedules.Misses)
+	}
+	if m.UptimeSeconds <= 0 {
+		t.Error("uptime not positive")
+	}
+}
+
+// TestConcurrentCoalescing is the service's concurrency contract test: 48
+// goroutines (32 identical + 16 across three other configs) slam a cold
+// server through real HTTP, with the schedule build artificially held open
+// so the identical requests are in flight together. Exactly one build per
+// distinct config may run, and every response must be byte-identical to the
+// direct cluster.ComputeSchedule-based computation.
+func TestConcurrentCoalescing(t *testing.T) {
+	svc := New(Options{})
+	// Hold every build open briefly so concurrent identical requests pile
+	// onto the in-flight entry instead of arriving after completion.
+	svc.scheduleBuildHook = func() { time.Sleep(100 * time.Millisecond) }
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	hot := ScheduleRequest{Model: "AlexNet v2", Policy: "tic", Workers: 2, PS: 1, Seed: 1}
+	cold := []ScheduleRequest{
+		{Model: "AlexNet v2", Policy: "critical-path", Workers: 2, PS: 1, Seed: 1},
+		{Model: "AlexNet v2", Policy: "tic", Workers: 3, PS: 1, Seed: 1},
+		{Model: "Inception v1", Policy: "tic", Workers: 2, PS: 1, Seed: 1},
+	}
+	expected := map[string][]byte{}
+	for _, r := range append([]ScheduleRequest{hot}, cold...) {
+		expected[requestLabel(r)] = directScheduleResult(t, r)
+	}
+
+	const hotN, coldN = 32, 16
+	type reply struct {
+		label   string
+		payload []byte
+		status  int
+	}
+	replies := make([]reply, hotN+coldN)
+	var wg sync.WaitGroup
+	for i := 0; i < hotN+coldN; i++ {
+		req := hot
+		if i >= hotN {
+			req = cold[(i-hotN)%len(cold)]
+		}
+		wg.Add(1)
+		go func(i int, req ScheduleRequest) {
+			defer wg.Done()
+			body, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			payload, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			replies[i] = reply{label: requestLabel(req), payload: payload, status: resp.StatusCode}
+		}(i, req)
+	}
+	wg.Wait()
+
+	for i, r := range replies {
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, r.status, r.payload)
+		}
+		if got := compactResult(t, r.payload); !bytes.Equal(got, expected[r.label]) {
+			t.Errorf("request %d (%s) diverged from direct library computation", i, r.label)
+		}
+	}
+
+	// Exactly one schedule build per distinct config, no matter how many
+	// requests were in flight.
+	_, schedBuilds := svc.BuildCounts()
+	if want := uint64(1 + len(cold)); schedBuilds != want {
+		t.Errorf("schedule builds = %d, want %d (one per distinct config)", schedBuilds, want)
+	}
+	// Note: "Inception v1 w2" and "AlexNet v2 w3" are distinct clusters;
+	// hot and critical-path share one. 3 distinct cluster configs total.
+	clBuilds, _ := svc.BuildCounts()
+	if clBuilds != 3 {
+		t.Errorf("cluster builds = %d, want 3", clBuilds)
+	}
+
+	st := svc.schedules.Stats()
+	if st.Misses != uint64(1+len(cold)) {
+		t.Errorf("schedule cache misses = %d, want %d", st.Misses, 1+len(cold))
+	}
+	if st.Hits+st.Coalesced != uint64(hotN+coldN)-st.Misses {
+		t.Errorf("hits(%d)+coalesced(%d) != served-without-build(%d)",
+			st.Hits, st.Coalesced, uint64(hotN+coldN)-st.Misses)
+	}
+	if st.Coalesced == 0 {
+		t.Error("no request coalesced despite builds held open for 100ms")
+	}
+}
+
+func requestLabel(r ScheduleRequest) string {
+	return fmt.Sprintf("%s/%s/w%d", r.Model, r.Policy, r.Workers)
+}

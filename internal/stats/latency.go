@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+)
+
+// LatencyRecorder accumulates duration samples from concurrent observers
+// and summarizes them on demand — the p50/p99 source behind the tictacd
+// /metrics endpoint.
+//
+// It keeps a sliding window of the most recent samples (a fixed-size ring,
+// so a long-running server's memory stays bounded) plus exact cumulative
+// count and sum. Percentiles therefore describe recent behaviour while
+// Count/Mean describe the whole lifetime. All methods are safe for
+// concurrent use.
+type LatencyRecorder struct {
+	mu    sync.Mutex
+	ring  []float64
+	next  int
+	full  bool
+	count uint64
+	sum   float64
+}
+
+// DefaultLatencyWindow is the ring size used when NewLatencyRecorder is
+// given a non-positive window.
+const DefaultLatencyWindow = 4096
+
+// NewLatencyRecorder returns a recorder keeping the last window samples for
+// percentile estimation (window <= 0 selects DefaultLatencyWindow).
+func NewLatencyRecorder(window int) *LatencyRecorder {
+	if window <= 0 {
+		window = DefaultLatencyWindow
+	}
+	return &LatencyRecorder{ring: make([]float64, window)}
+}
+
+// Observe records one sample (in the caller's unit, typically seconds).
+func (r *LatencyRecorder) Observe(v float64) {
+	r.mu.Lock()
+	r.ring[r.next] = v
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+	r.count++
+	r.sum += v
+	r.mu.Unlock()
+}
+
+// LatencySummary is a point-in-time latency digest.
+type LatencySummary struct {
+	// Count is the lifetime number of samples observed.
+	Count uint64 `json:"count"`
+	// Mean is the lifetime arithmetic mean (0 with no samples).
+	Mean float64 `json:"mean"`
+	// P50 and P99 are percentiles over the recent-sample window.
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+	// Max is the maximum over the recent-sample window.
+	Max float64 `json:"max"`
+}
+
+// Snapshot summarizes the recorder's current state.
+func (r *LatencyRecorder) Snapshot() LatencySummary {
+	r.mu.Lock()
+	n := r.next
+	if r.full {
+		n = len(r.ring)
+	}
+	window := append([]float64(nil), r.ring[:n]...)
+	s := LatencySummary{Count: r.count}
+	if r.count > 0 {
+		s.Mean = r.sum / float64(r.count)
+	}
+	r.mu.Unlock()
+	if len(window) > 0 {
+		// One sort serves all three window statistics.
+		sort.Float64s(window)
+		s.P50 = sortedPercentile(window, 50)
+		s.P99 = sortedPercentile(window, 99)
+		s.Max = window[len(window)-1]
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLatencyRecorderBasics(t *testing.T) {
+	r := NewLatencyRecorder(100)
+	if s := r.Snapshot(); s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v, want zeros", s)
+	}
+	for i := 1; i <= 100; i++ {
+		r.Observe(float64(i))
+	}
+	s := r.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("Mean = %v, want 50.5", s.Mean)
+	}
+	if s.P50 != 50.5 {
+		t.Fatalf("P50 = %v, want 50.5", s.P50)
+	}
+	if s.P99 < 99 || s.P99 > 100 {
+		t.Fatalf("P99 = %v, want in [99, 100]", s.P99)
+	}
+	if s.Max != 100 {
+		t.Fatalf("Max = %v, want 100", s.Max)
+	}
+}
+
+func TestLatencyRecorderWindowSlides(t *testing.T) {
+	r := NewLatencyRecorder(10)
+	for i := 0; i < 10; i++ {
+		r.Observe(1000) // old samples, about to be overwritten
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe(1)
+	}
+	s := r.Snapshot()
+	if s.Count != 20 {
+		t.Fatalf("Count = %d, want 20 (lifetime)", s.Count)
+	}
+	if s.P99 != 1 || s.Max != 1 {
+		t.Fatalf("window percentiles see evicted samples: %+v", s)
+	}
+	if s.Mean != (10*1000+10*1)/20.0 {
+		t.Fatalf("Mean = %v, want lifetime mean", s.Mean)
+	}
+}
+
+func TestLatencyRecorderPartialWindow(t *testing.T) {
+	r := NewLatencyRecorder(1000)
+	r.Observe(2)
+	r.Observe(4)
+	s := r.Snapshot()
+	if s.P50 != 3 {
+		t.Fatalf("P50 over {2,4} = %v, want 3", s.P50)
+	}
+	if s.Max != 4 {
+		t.Fatalf("Max = %v, want 4", s.Max)
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	r := NewLatencyRecorder(0) // default window
+	var wg sync.WaitGroup
+	const goroutines, perG = 16, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Observe(1)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := r.Snapshot(); s.Count != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", s.Count, goroutines*perG)
+	}
+}

@@ -21,6 +21,8 @@
 //   - Simulate: multi-resource discrete-event execution (internal/sim)
 //   - BuildCluster: Model-Replica + PS graphs and iteration protocol
 //     (internal/cluster)
+//   - NewService: the tictacd HTTP scheduling daemon — cached,
+//     request-coalescing schedule/simulate endpoints (internal/service)
 //
 // Quickstart:
 //
@@ -44,6 +46,7 @@ import (
 	"tictac/internal/graph"
 	"tictac/internal/model"
 	"tictac/internal/sched"
+	"tictac/internal/service"
 	"tictac/internal/sim"
 	"tictac/internal/timing"
 )
@@ -116,6 +119,21 @@ type (
 	Outcome = cluster.Outcome
 	// Iteration summarizes one synchronized step.
 	Iteration = cluster.Iteration
+
+	// SchedulingService is the tictacd HTTP service: cached,
+	// request-coalescing schedule and simulation endpoints over this
+	// library (internal/service; see docs/service.md).
+	SchedulingService = service.Service
+	// ServiceOptions configures a SchedulingService.
+	ServiceOptions = service.Options
+	// ServiceScheduleRequest is the body of POST /v1/schedule.
+	ServiceScheduleRequest = service.ScheduleRequest
+	// ServiceSimulateRequest is the body of POST /v1/simulate.
+	ServiceSimulateRequest = service.SimulateRequest
+	// ServiceLoadOptions configures the deterministic load generator.
+	ServiceLoadOptions = service.LoadOptions
+	// ServiceLoadReport summarizes one load-generator run.
+	ServiceLoadReport = service.LoadReport
 )
 
 // Op kinds.
@@ -239,3 +257,29 @@ func ValidateSchedule(g *Graph, s *Schedule) error { return core.ValidateSchedul
 
 // GraphDOT renders a graph in Graphviz DOT format.
 func GraphDOT(g *Graph, title string) string { return graph.DOT(g, title) }
+
+// NewService returns the tictacd scheduling service; mount its Handler()
+// on any HTTP server. See docs/service.md for the API and cache semantics.
+func NewService(opts ServiceOptions) *SchedulingService { return service.New(opts) }
+
+// RunServiceLoad drives the deterministic load generator against a running
+// service and verifies every response against direct library computation.
+func RunServiceLoad(opts ServiceLoadOptions) (*ServiceLoadReport, error) {
+	return service.RunLoad(opts)
+}
+
+// GraphDigest returns a stable content digest of a graph: invariant to
+// construction order, sensitive to any semantic change (op attributes,
+// costs, edges, tags). The service layer keys its schedule cache on it.
+func GraphDigest(g *Graph) string { return core.GraphDigest(g) }
+
+// PlatformDigest returns a stable content digest of a platform cost model.
+func PlatformDigest(p Platform) string { return core.PlatformDigest(p) }
+
+// PlatformMapDigest returns a stable content digest of a heterogeneous
+// cost model (sorted override order; nil digests like an empty marker).
+func PlatformMapDigest(m *PlatformMap) string { return core.PlatformMapDigest(m) }
+
+// ScheduleDigest returns a stable content digest of a schedule (nil = the
+// unscheduled baseline).
+func ScheduleDigest(s *Schedule) string { return core.ScheduleDigest(s) }
