@@ -51,14 +51,16 @@ vet:
 doc:
 	@for p in $$($(GO) list ./...); do $(GO) doc $$p >/dev/null || exit 1; done
 
-# Perf trajectory: run the simulator-core and cluster-protocol
-# microbenchmarks and emit BENCH_sim.json (ns/op + allocs/op per model,
-# reference vs runner). CI uploads the JSON as an artifact per commit.
+# Perf trajectory: run the simulator-core, cluster-protocol and service
+# batch-throughput microbenchmarks and emit BENCH_sim.json (ns/op +
+# allocs/op per model, plus variants/sec for /v1/batch at pool width 1 vs
+# GOMAXPROCS). CI uploads the JSON as an artifact per commit; the committed
+# copy records the trajectory across PRs.
 # Two steps, not a pipe: a bench compile error/panic/FAIL must fail the
 # target (sh has no pipefail), not be masked into an empty JSON array.
 perf:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimRun|BenchmarkClusterRun' -benchmem \
-		-benchtime $(PERF_BENCHTIME) ./internal/sim/ ./internal/cluster/ > BENCH_sim.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSimRun|BenchmarkClusterRun|BenchmarkBatchThroughput' -benchmem \
+		-benchtime $(PERF_BENCHTIME) ./internal/sim/ ./internal/cluster/ ./internal/service/ > BENCH_sim.txt
 	$(GO) run ./cmd/benchjson -o BENCH_sim.json < BENCH_sim.txt
 	@cat BENCH_sim.json
 

@@ -21,15 +21,17 @@ import (
 	"strings"
 )
 
-// Row is one parsed benchmark result line.
+// Row is one parsed benchmark result line. Custom metrics emitted via
+// b.ReportMetric (e.g. "variants/sec") land in Extra keyed by their unit.
 type Row struct {
-	Benchmark   string  `json:"benchmark"`
-	Model       string  `json:"model,omitempty"`
-	Variant     string  `json:"variant,omitempty"`
-	Iters       int64   `json:"iters"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Benchmark   string             `json:"benchmark"`
+	Model       string             `json:"model,omitempty"`
+	Variant     string             `json:"variant,omitempty"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // parseLine parses one `go test -bench` result line, reporting ok=false for
@@ -74,6 +76,15 @@ func parseLine(line string) (Row, bool) {
 			row.BytesPerOp = int64(v)
 		case "allocs/op":
 			row.AllocsPerOp = int64(v)
+		default:
+			// b.ReportMetric units all contain a slash (variants/sec,
+			// MB/s, ...); anything else is a stray number, not a metric.
+			if strings.Contains(fields[i+1], "/") {
+				if row.Extra == nil {
+					row.Extra = map[string]float64{}
+				}
+				row.Extra[fields[i+1]] = v
+			}
 		}
 	}
 	return row, seenNs

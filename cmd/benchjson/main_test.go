@@ -34,6 +34,17 @@ func TestParseLine(t *testing.T) {
 	if !ok || row.Benchmark != "BenchmarkFoo" || row.Model != "" || row.NsPerOp != 123.5 {
 		t.Fatalf("plain benchmark = %+v, ok=%v", row, ok)
 	}
+	if row.Extra != nil {
+		t.Fatalf("unexpected extra metrics: %v", row.Extra)
+	}
+	// Custom metrics from b.ReportMetric land in Extra keyed by unit.
+	row, ok = parseLine("BenchmarkBatchThroughput/AlexNet_v2/jobsN-4  50  2000000 ns/op  11520 variants/sec  1024 B/op  12 allocs/op")
+	if !ok || row.NsPerOp != 2000000 || row.BytesPerOp != 1024 {
+		t.Fatalf("metric line = %+v, ok=%v", row, ok)
+	}
+	if row.Extra["variants/sec"] != 11520 {
+		t.Fatalf("extra = %v, want variants/sec=11520", row.Extra)
+	}
 	for _, line := range []string{"PASS", "ok  \ttictac\t0.1s", "pkg: tictac", "", "Benchmark (no result)"} {
 		if _, ok := parseLine(line); ok {
 			t.Fatalf("non-result line parsed as benchmark: %q", line)

@@ -23,6 +23,8 @@ type app struct {
 	cacheCapacity int
 	shards        int
 	latencyWindow int
+	maxBatch      int
+	batchJobs     int
 
 	loadtest    bool
 	target      string
@@ -31,6 +33,8 @@ type app struct {
 	seed        int64
 	models      string
 	policies    string
+	batches     int
+	checkErrors bool
 	reportPath  string
 }
 
@@ -42,6 +46,8 @@ func parseFlags(args []string, stderr io.Writer) (*app, error) {
 	fs.IntVar(&a.cacheCapacity, "cache-capacity", service.DefaultCacheCapacity, "resident entries per cache (clusters, schedules)")
 	fs.IntVar(&a.shards, "shards", service.DefaultShards, "cache shard count")
 	fs.IntVar(&a.latencyWindow, "latency-window", 0, "latency sample window for /metrics percentiles (0 = default)")
+	fs.IntVar(&a.maxBatch, "max-batch", service.DefaultMaxBatch, "max variants per /v1/batch request (above = 413 batch_too_large)")
+	fs.IntVar(&a.batchJobs, "batch-jobs", 0, "worker-pool width for /v1/batch fan-out (0 = GOMAXPROCS; results are identical at any width)")
 	fs.BoolVar(&a.loadtest, "loadtest", false, "run the deterministic load generator instead of serving")
 	fs.StringVar(&a.target, "target", "", "loadtest: base URL of a running tictacd (empty = spin up an in-process server)")
 	fs.IntVar(&a.requests, "requests", 200, "loadtest: total schedule requests")
@@ -49,6 +55,8 @@ func parseFlags(args []string, stderr io.Writer) (*app, error) {
 	fs.Int64Var(&a.seed, "seed", 1, "loadtest: workload seed")
 	fs.StringVar(&a.models, "models", "", "loadtest: comma-separated Table 1 model names (empty = default trio)")
 	fs.StringVar(&a.policies, "policies", "", "loadtest: comma-separated policy names (empty = tic,critical-path)")
+	fs.IntVar(&a.batches, "batches", 0, "loadtest: /v1/batch requests mixed into the load (0 = default 4, negative = none)")
+	fs.BoolVar(&a.checkErrors, "check-errors", true, "loadtest: run the error-injection probes asserting structured codes")
 	fs.StringVar(&a.reportPath, "report", "", "loadtest: also write the JSON report to this file")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -61,6 +69,8 @@ func (a *app) options() service.Options {
 		CacheCapacity: a.cacheCapacity,
 		Shards:        a.shards,
 		LatencyWindow: a.latencyWindow,
+		MaxBatch:      a.maxBatch,
+		BatchJobs:     a.batchJobs,
 	}
 }
 
@@ -105,7 +115,7 @@ func (a *app) runDaemon(stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "tictacd: listen: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "tictacd: serving on %s (POST /v1/schedule, POST /v1/simulate, GET /v1/policies, GET /healthz, GET /metrics)\n", ln.Addr())
+	fmt.Fprintf(stdout, "tictacd: serving on %s (POST /v1/schedule, POST /v1/simulate, POST /v1/batch, GET /v1/policies, GET /healthz, GET /metrics)\n", ln.Addr())
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
@@ -156,6 +166,9 @@ func (a *app) runLoadtest(stdout, stderr io.Writer) int {
 		Seed:        a.seed,
 		Models:      splitList(a.models),
 		Policies:    splitList(a.policies),
+		Batches:     a.batches,
+		CheckErrors: a.checkErrors,
+		BatchLimit:  a.maxBatch,
 	})
 	// RunLoad may return a partial report alongside its error (e.g. the
 	// run completed but the /metrics read failed). Emit whatever exists

@@ -1,8 +1,9 @@
 // The service example runs the tictacd scheduling daemon in-process and
 // exercises its API the way a client fleet would: a cold schedule request,
 // a storm of identical concurrent requests that coalesce onto one build, a
-// what-if simulation, and a /metrics read showing the cache absorbing the
-// traffic. See docs/service.md for the full API reference.
+// what-if simulation, a batched capacity-planning sweep over one graph, and
+// a /metrics read showing the cache absorbing the traffic. See
+// docs/service.md for the full API reference.
 package main
 
 import (
@@ -32,10 +33,13 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("tictacd serving on %s\n\n", base)
 
-	// 1. A cold schedule request: built once, digested, cached.
-	req := tictac.ServiceScheduleRequest{
+	// 1. A cold schedule request: built once, digested, cached. The
+	// canonical body wraps the workload in an envelope ({"workload": ...});
+	// the older flat layout is still accepted.
+	workload := tictac.ServiceWorkloadSpec{
 		Model: "ResNet-50 v2", Policy: "tic", Workers: 4, PS: 2, Seed: 1,
 	}
+	req := tictac.ServiceScheduleRequest{Workload: &workload}
 	t0 := time.Now()
 	resp := postJSON(base+"/v1/schedule", req)
 	coldMs := time.Since(t0).Seconds() * 1000
@@ -80,11 +84,11 @@ func main() {
 	fmt.Printf("storm: %d identical concurrent requests in %.1fms, %d served from cache\n\n",
 		storm, time.Since(t0).Seconds()*1000, cachedCount)
 
-	// 3. A what-if simulation reusing the cached cluster and schedule.
-	simReq := tictac.ServiceSimulateRequest{
-		ScheduleRequest:   req,
-		MeasureIterations: 5,
-	}
+	// 3. A what-if simulation reusing the cached cluster and schedule. The
+	// simulate protocol knobs live on the same WorkloadSpec envelope.
+	simWorkload := workload
+	simWorkload.MeasureIterations = 5
+	simReq := tictac.ServiceSimulateRequest{Workload: &simWorkload}
 	var sim struct {
 		Result struct {
 			MeanThroughput  float64 `json:"mean_throughput_samples_per_second"`
@@ -96,7 +100,40 @@ func main() {
 	fmt.Printf("simulate: %.0f samples/s, mean iteration %.4fs, worst straggler %.1f%%\n\n",
 		sim.Result.MeanThroughput, sim.Result.MeanMakespan, sim.Result.MaxStragglerPct)
 
-	// 4. The cache's view of all that traffic.
+	// 4. A batched capacity-planning sweep: one graph, many variants. The
+	// server parses the graph once, derives override platforms from the base
+	// cluster, coalesces duplicates, and returns a ranked summary. Each
+	// variant payload is byte-identical to the /v1/simulate response for the
+	// same spec.
+	tic, none, cp := "tic", "none", "critical-path"
+	batchReq := tictac.ServiceBatchRequest{
+		Workload: &simWorkload,
+		Variants: []tictac.ServiceBatchVariant{
+			{Label: "baseline-unscheduled", Policy: &none},
+			{Label: "tic", Policy: &tic},
+			{Label: "critical-path", Policy: &cp},
+			{Label: "tic-slow-worker", Policy: &tic, Overrides: &tictac.ServicePlatformOverrides{
+				Devices: map[string]tictac.ServiceDeviceOverride{"worker:3": {SlowCompute: 2.5}},
+			}},
+			{Label: "tic-straggler", Policy: &tic, Stragglers: &[]tictac.ServiceStragglerSpec{
+				{Worker: 2, Factor: 3, From: 1, Until: 4},
+			}},
+		},
+	}
+	var batch tictac.ServiceBatchResponse
+	mustUnmarshal(postJSON(base+"/v1/batch", batchReq), &batch)
+	fmt.Printf("batch: %d variants (%d distinct computations), graph parsed once\n",
+		batch.Summary.Variants, batch.Summary.Distinct)
+	for _, row := range batch.Summary.Ranking {
+		fmt.Printf("  #%d %-22s policy=%-14s mean %.4fs  %+6.1f%% vs baseline\n",
+			row.Index, batch.Variants[row.Index].Label, row.Policy, row.MeanMakespan, row.DeltaVsBaselinePct)
+	}
+	for _, sc := range batch.Summary.Scenarios {
+		fmt.Printf("  scenario %-22s best policy: %s\n", sc.Scenario, sc.BestPolicy)
+	}
+	fmt.Println()
+
+	// 5. The cache's view of all that traffic.
 	m := svc.Metrics()
 	fmt.Printf("metrics: %d schedule requests, %d schedule builds, hit rate %.2f, p99 %.1fms\n",
 		m.Requests["schedule"].Count, m.Builds.Schedules,

@@ -82,10 +82,12 @@ func (c Config) batch() int {
 	return b
 }
 
-// validateOverrides checks every PlatformMap override key against the
+// ValidateOverrides checks every PlatformMap override key against the
 // device tags and channel resources this configuration actually builds, and
 // every device override against the same sanity bar as the base platform.
-func (c Config) validateOverrides() error {
+// Build calls it; the service layer also calls it directly so an override
+// typo surfaces as a client error before any build work is attempted.
+func (c Config) ValidateOverrides() error {
 	if c.Platforms == nil {
 		return nil
 	}
@@ -221,6 +223,33 @@ func ChannelResource(worker, ps int) string {
 	return fmt.Sprintf("worker:%d/net:ps:%d", worker, ps)
 }
 
+// normalizePlatforms reconciles Platform with Platforms.Default (cloning
+// the map so callers' values are never mutated), checks base-platform
+// sanity and validates every override key. Build and WithPlatforms share
+// it, so a derived cluster is held to exactly the bar a fresh build is.
+func (c Config) normalizePlatforms() (Config, error) {
+	if c.Platforms != nil {
+		pm := c.Platforms.Clone()
+		zero := timing.Platform{}
+		switch {
+		case pm.Default == zero:
+			pm.Default = c.Platform
+		case c.Platform == zero:
+			c.Platform = pm.Default
+		case pm.Default != c.Platform:
+			return c, fmt.Errorf("cluster: Platform %q and Platforms.Default %q disagree", c.Platform.Name, pm.Default.Name)
+		}
+		c.Platforms = pm
+	}
+	if c.Platform.ComputeFLOPS <= 0 || c.Platform.NetBandwidth <= 0 {
+		return c, fmt.Errorf("cluster: invalid platform %q", c.Platform.Name)
+	}
+	if err := c.ValidateOverrides(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
 // Build constructs the cluster graph for the given configuration.
 func Build(cfg Config) (*Cluster, error) {
 	if cfg.Workers < 1 {
@@ -229,23 +258,8 @@ func Build(cfg Config) (*Cluster, error) {
 	if cfg.PS < 1 {
 		return nil, fmt.Errorf("cluster: need >= 1 PS, got %d", cfg.PS)
 	}
-	if cfg.Platforms != nil {
-		pm := cfg.Platforms.Clone()
-		zero := timing.Platform{}
-		switch {
-		case pm.Default == zero:
-			pm.Default = cfg.Platform
-		case cfg.Platform == zero:
-			cfg.Platform = pm.Default
-		case pm.Default != cfg.Platform:
-			return nil, fmt.Errorf("cluster: Platform %q and Platforms.Default %q disagree", cfg.Platform.Name, pm.Default.Name)
-		}
-		cfg.Platforms = pm
-	}
-	if cfg.Platform.ComputeFLOPS <= 0 || cfg.Platform.NetBandwidth <= 0 {
-		return nil, fmt.Errorf("cluster: invalid platform %q", cfg.Platform.Name)
-	}
-	if err := cfg.validateOverrides(); err != nil {
+	cfg, err := cfg.normalizePlatforms()
+	if err != nil {
 		return nil, err
 	}
 	params := cfg.Model.ParamTensors()
@@ -352,6 +366,38 @@ func Build(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	return &Cluster{Config: cfg, Graph: full, Shard: shard, Params: params}, nil
+}
+
+// WithPlatforms returns a cluster identical to c except for its cost model:
+// the given base platform plus optional heterogeneous overrides. The graph,
+// parameter sharding and per-graph simulator precomputation (the shared
+// sim.Runner and the efficiency index) are shared with c rather than
+// rebuilt — platforms never change topology, only per-op costs, which the
+// simulator resolves per run. The returned cluster is bit-identical in
+// every output to a fresh Build of the same configuration (regression-
+// tested), at none of the graph-construction cost; the batched what-if API
+// leans on this to amortize one graph across many platform variants.
+//
+// The receiver and the result are both read-only after this call and may be
+// used concurrently, like any built Cluster.
+func (c *Cluster) WithPlatforms(platform timing.Platform, platforms *timing.PlatformMap) (*Cluster, error) {
+	cfg := c.Config
+	cfg.Platform = platform
+	cfg.Platforms = platforms
+	cfg, err := cfg.normalizePlatforms()
+	if err != nil {
+		return nil, err
+	}
+	nc := &Cluster{Config: cfg, Graph: c.Graph, Shard: c.Shard, Params: c.Params}
+	// Adopt the parent's per-graph state. If the parent's runner failed to
+	// build (or was never built), leave the child lazy: it would fail — or
+	// build — identically on first use.
+	if r, rerr := c.simRunner(); rerr == nil {
+		nc.runnerOnce.Do(func() { nc.runner = r })
+	}
+	ref, toRef := c.effIndex()
+	nc.effOnce.Do(func() { nc.effRef, nc.effToRef = ref, toRef })
+	return nc, nil
 }
 
 // copyInto copies src's ops and edges into dst with every op name prefixed.

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+// WithPlatforms must be observationally identical to a fresh Build of the
+// same configuration: same schedules, same run outputs, bit for bit —
+// while sharing the parent's graph and simulator. The batched what-if API
+// amortizes graph construction across platform variants through this.
+func TestWithPlatformsMatchesFreshBuild(t *testing.T) {
+	base, err := Build(smallConfig(3, 2, model.Training))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := timing.NewPlatformMap(timing.EnvG()).
+		SetDevice(WorkerDevice(1), timing.EnvG().SlowedCompute(2.5)).
+		SetChannel(ChannelResource(0, 1), timing.ChannelCost{Bandwidth: 5e8})
+
+	derived, err := base.WithPlatforms(timing.EnvG(), pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.Graph != base.Graph {
+		t.Error("derived cluster does not share the parent graph")
+	}
+	cfg := smallConfig(3, 2, model.Training)
+	cfg.Platforms = pm
+	fresh, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exp := Experiment{Warmup: 1, Measure: 4}
+	for _, policy := range []string{"none", "tic", "tac"} {
+		sd, err := derived.ComputeSchedule(policy, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, err := fresh.ComputeSchedule(policy, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sd, sf) {
+			t.Fatalf("%s: derived and fresh schedules differ", policy)
+		}
+		a, err := derived.Run(exp, RunOptions{Schedule: sd, Seed: 7, Jitter: -1, ReorderProb: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fresh.Run(exp, RunOptions{Schedule: sf, Seed: 7, Jitter: -1, ReorderProb: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: derived outcome differs from fresh build:\n%+v\nvs\n%+v", policy, a, b)
+		}
+	}
+
+	// The parent keeps its own (homogeneous) cost model.
+	if base.Config.Platforms != nil {
+		t.Error("WithPlatforms mutated the receiver's config")
+	}
+}
+
+// WithPlatforms enforces the same validation bar as Build.
+func TestWithPlatformsValidates(t *testing.T) {
+	base, err := Build(smallConfig(2, 1, model.Training))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.WithPlatforms(timing.Platform{}, nil); err == nil {
+		t.Error("zero platform accepted")
+	}
+	bad := timing.NewPlatformMap(timing.EnvG()).SetDevice("worker:99", timing.EnvG())
+	if _, err := base.WithPlatforms(timing.EnvG(), bad); err == nil {
+		t.Error("override for unknown device accepted")
+	}
+	if _, err := base.WithPlatforms(timing.EnvG(), timing.NewPlatformMap(timing.EnvC())); err == nil {
+		t.Error("conflicting Platform/Platforms.Default accepted")
+	}
+}

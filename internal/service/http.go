@@ -15,7 +15,8 @@ import (
 )
 
 // maxBodyBytes bounds request bodies; schedule/simulate requests are a few
-// hundred bytes of JSON, so 1 MiB is generous without inviting abuse.
+// hundred bytes of JSON and even a maximal batch fits comfortably, so 1 MiB
+// is generous without inviting abuse.
 const maxBodyBytes = 1 << 20
 
 // endpointMetrics instruments one endpoint.
@@ -25,48 +26,45 @@ type endpointMetrics struct {
 	lat      *stats.LatencyRecorder
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. Routes are registered by path
+// only; instrument enforces the method so that a wrong verb yields the
+// structured 405 envelope (with an Allow header) instead of the mux's
+// plain-text default, and unknown paths yield the structured 404.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/schedule", s.instrument("schedule", s.handleSchedule))
-	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
-	mux.HandleFunc("GET /v1/policies", s.instrument("policies", s.handlePolicies))
-	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("/v1/schedule", s.instrument("schedule", http.MethodPost, s.handleSchedule))
+	mux.HandleFunc("/v1/simulate", s.instrument("simulate", http.MethodPost, s.handleSimulate))
+	mux.HandleFunc("/v1/batch", s.instrument("batch", http.MethodPost, s.handleBatch))
+	mux.HandleFunc("/v1/policies", s.instrument("policies", http.MethodGet, s.handlePolicies))
+	mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, codeErr(http.StatusNotFound, CodeNotFound, "unknown path %q", r.URL.Path))
+	})
 	return mux
 }
 
-// apiError is a client-visible failure with an HTTP status.
-type apiError struct {
-	status int
-	msg    string
-}
-
-func (e *apiError) Error() string { return e.msg }
-
-func badRequest(format string, args ...any) error {
-	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
-}
-
-// instrument wraps a handler with request counting, latency recording and
-// uniform JSON error rendering.
-func (s *Service) instrument(name string, fn func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+// instrument wraps a handler with method enforcement, request counting,
+// latency recording and uniform JSON error rendering.
+func (s *Service) instrument(name, method string, fn func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	m := s.endpoints[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		m.requests.Add(1)
-		err := fn(w, r)
+		err := func() error {
+			if r.Method != method && !(method == http.MethodGet && r.Method == http.MethodHead) {
+				w.Header().Set("Allow", method)
+				return codeErr(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+					"method %s not allowed on %s (use %s)", r.Method, r.URL.Path, method)
+			}
+			return fn(w, r)
+		}()
 		m.lat.Observe(time.Since(start).Seconds())
 		if err == nil {
 			return
 		}
 		m.errors.Add(1)
-		status := http.StatusInternalServerError
-		var ae *apiError
-		if errors.As(err, &ae) {
-			status = ae.status
-		}
-		writeJSON(w, status, map[string]string{"error": err.Error()})
+		writeError(w, err)
 	}
 }
 
@@ -78,11 +76,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // headers are out; nothing useful to do on a write error
 }
 
-// decodeBody strictly decodes a JSON request body into v.
+// decodeBody strictly decodes a JSON request body into v. Bodies over the
+// 1 MiB cap are a 413 payload_too_large; anything else the decoder rejects
+// (syntax, unknown fields, trailing garbage) is a 400 bad_request.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return codeErr(http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+		}
 		return badRequest("invalid request body: %v", err)
 	}
 	return nil
@@ -106,7 +111,7 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	}
 	res, err := req.resolve()
 	if err != nil {
-		return badRequest("%v", err)
+		return err
 	}
 	e, _, cached, err := s.schedule(res)
 	if err != nil {
@@ -127,22 +132,8 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
-// SimulateRequest is the body of POST /v1/simulate: a schedule request plus
-// the experiment protocol to run under it.
-type SimulateRequest struct {
-	ScheduleRequest
-	// WarmupIterations / MeasureIterations set the experiment protocol
-	// (defaults: the paper's 2 warmup / 10 measured).
-	WarmupIterations  int `json:"warmup_iterations,omitempty"`
-	MeasureIterations int `json:"measure_iterations,omitempty"`
-	// Jitter is the relative runtime noise; omitted or null selects the
-	// platform default, 0 disables noise.
-	Jitter *float64 `json:"jitter,omitempty"`
-	// ReorderProb injects gRPC-style priority inversions.
-	ReorderProb float64 `json:"reorder_prob,omitempty"`
-}
-
-// SimulateResult is the deterministic payload of a simulate response.
+// SimulateResult is the deterministic payload of a simulate response (and,
+// variant by variant, of a batch response).
 type SimulateResult struct {
 	Model   string `json:"model"`
 	Mode    string `json:"mode"`
@@ -175,41 +166,22 @@ type SimulateResponse struct {
 	Result SimulateResult `json:"result"`
 }
 
-// simulate runs the experiment protocol for a validated request, reusing
-// the cached cluster (and its shared sim.Runner) and the cached schedule.
-func (s *Service) simulate(req SimulateRequest, res resolved) (*SimulateResponse, error) {
-	warmup, measure := req.WarmupIterations, req.MeasureIterations
-	if warmup <= 0 {
-		warmup = cluster.DefaultExperiment.Warmup
-	}
-	if measure <= 0 {
-		measure = cluster.DefaultExperiment.Measure
-	}
-	if measure > 1000 || warmup > 1000 {
-		return nil, badRequest("iteration counts are capped at 1000")
-	}
-	if req.ReorderProb < 0 || req.ReorderProb > 1 {
-		return nil, badRequest("reorder_prob must be in [0, 1]")
-	}
-	jitter := -1.0 // platform default
-	if req.Jitter != nil {
-		if *req.Jitter < 0 || *req.Jitter > 1 {
-			return nil, badRequest("jitter must be in [0, 1]")
-		}
-		jitter = *req.Jitter
-	}
-	e, ce, cached, err := s.schedule(res)
-	if err != nil {
-		return nil, fmt.Errorf("schedule build: %w", err)
-	}
-	out, err := ce.c.Run(cluster.Experiment{Warmup: warmup, Measure: measure}, cluster.RunOptions{
+// computeSimulateResult runs the experiment protocol for a resolved spec on
+// its cluster + schedule entries. Both /v1/simulate and every /v1/batch
+// variant produce their result through this one function, so a batch
+// variant's payload is structurally guaranteed to match the individual
+// simulate response for the same spec.
+func computeSimulateResult(ce *clusterEntry, e *scheduleEntry, r resolved) (SimulateResult, error) {
+	out, err := ce.c.Run(cluster.Experiment{Warmup: r.warmupIters, Measure: r.measureIters}, cluster.RunOptions{
 		Schedule:    e.sched,
-		Seed:        res.seed,
-		Jitter:      jitter,
-		ReorderProb: req.ReorderProb,
+		Seed:        r.seed,
+		Jitter:      r.jitter,
+		ReorderProb: r.reorderProb,
+		Stragglers:  r.stragglers,
+		Contention:  r.contention,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("simulate: %w", err)
+		return SimulateResult{}, fmt.Errorf("simulate: %w", err)
 	}
 	result := SimulateResult{
 		Model:             e.result.Model,
@@ -218,12 +190,12 @@ func (s *Service) simulate(req SimulateRequest, res resolved) (*SimulateResponse
 		PS:                e.result.PS,
 		Env:               e.result.Env,
 		Policy:            e.result.Policy,
-		Seed:              res.seed,
+		Seed:              r.seed,
 		GraphDigest:       e.result.GraphDigest,
 		PlatformDigest:    e.result.PlatformDigest,
 		ScheduleDigest:    e.result.ScheduleDigest,
-		WarmupIterations:  warmup,
-		MeasureIterations: measure,
+		WarmupIterations:  r.warmupIters,
+		MeasureIterations: r.measureIters,
 		MeanMakespan:      out.MeanMakespan,
 		MeanThroughput:    out.MeanThroughput,
 		MaxStragglerPct:   out.MaxStragglerPct,
@@ -236,6 +208,20 @@ func (s *Service) simulate(req SimulateRequest, res resolved) (*SimulateResponse
 		result.Makespans = append(result.Makespans, it.Makespan)
 		result.ReorderEvents += it.ReorderEvents
 	}
+	return result, nil
+}
+
+// simulate runs the experiment protocol for a resolved request, reusing the
+// cached cluster (and its shared sim.Runner) and the cached schedule.
+func (s *Service) simulate(res resolved) (*SimulateResponse, error) {
+	e, ce, cached, err := s.schedule(res)
+	if err != nil {
+		return nil, fmt.Errorf("schedule build: %w", err)
+	}
+	result, err := computeSimulateResult(ce, e, res)
+	if err != nil {
+		return nil, err
+	}
 	return &SimulateResponse{Cached: cached, Result: result}, nil
 }
 
@@ -246,9 +232,9 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	}
 	res, err := req.resolve()
 	if err != nil {
-		return badRequest("%v", err)
+		return err
 	}
-	resp, err := s.simulate(req, res)
+	resp, err := s.simulate(res)
 	if err != nil {
 		return err
 	}
@@ -319,8 +305,11 @@ type MetricsResponse struct {
 		Schedules CacheCounters `json:"schedules"`
 	} `json:"cache"`
 	Builds struct {
-		Clusters  uint64 `json:"clusters"`
-		Schedules uint64 `json:"schedules"`
+		Clusters uint64 `json:"clusters"`
+		// DerivedClusters counts cost-model-only cluster derivations that
+		// reused an already-parsed graph (batch variants with overrides).
+		DerivedClusters uint64 `json:"derived_clusters"`
+		Schedules       uint64 `json:"schedules"`
 	} `json:"builds"`
 }
 
@@ -340,6 +329,7 @@ func (s *Service) Metrics() MetricsResponse {
 	resp.Cache.Clusters = counters(s.clusters.Stats(), s.clusters.Len())
 	resp.Cache.Schedules = counters(s.schedules.Stats(), s.schedules.Len())
 	resp.Builds.Clusters = s.clusterBuilds.Load()
+	resp.Builds.DerivedClusters = s.derivedClusters.Load()
 	resp.Builds.Schedules = s.scheduleBuilds.Load()
 	return resp
 }

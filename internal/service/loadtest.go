@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,19 @@ type LoadOptions struct {
 	// critical-path — analytic policies, so the direct-reference
 	// computation stays cheap).
 	Policies []string
+	// Batches is the number of /v1/batch requests mixed into the load
+	// (default 4; negative disables). Every batch variant's payload is
+	// compared byte-for-byte against the equivalent single /v1/simulate
+	// response — any divergence is a mismatch.
+	Batches int
+	// CheckErrors enables the error-injection probes: deliberately broken
+	// requests asserting that every failure path returns the structured
+	// envelope with its documented status and stable code.
+	CheckErrors bool
+	// BatchLimit is the server's -max-batch value; when > 0 (and
+	// CheckErrors is set) the probes include an oversized batch asserting
+	// 413 batch_too_large.
+	BatchLimit int
 	// Client overrides the HTTP client (default: 30s timeout).
 	Client *http.Client
 }
@@ -54,6 +68,12 @@ func (o LoadOptions) withDefaults() LoadOptions {
 	if len(o.Policies) == 0 {
 		o.Policies = []string{"tic", "critical-path"}
 	}
+	if o.Batches == 0 {
+		o.Batches = 4
+	}
+	if o.Batches < 0 {
+		o.Batches = 0
+	}
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: 30 * time.Second}
 	}
@@ -63,7 +83,8 @@ func (o LoadOptions) withDefaults() LoadOptions {
 // LoadReport summarizes one load run. Failures are transport/HTTP errors;
 // Mismatches are responses whose result payload differed from the direct
 // library computation — the determinism contract violation the generator
-// exists to catch.
+// exists to catch. The Batch* fields hold the /v1/batch mix to the same
+// bar: a batch variant's bytes must equal its single /v1/simulate twin.
 type LoadReport struct {
 	Target          string               `json:"target"`
 	Requests        int                  `json:"requests"`
@@ -74,6 +95,15 @@ type LoadReport struct {
 	CachedResponses int                  `json:"cached_responses"`
 	DurationSeconds float64              `json:"duration_seconds"`
 	Latency         stats.LatencySummary `json:"latency_seconds"`
+	// Batch mix: requests fired, variants compared, divergences, failures.
+	BatchRequests   int `json:"batch_requests"`
+	BatchVariants   int `json:"batch_variants"`
+	BatchMismatches int `json:"batch_mismatches"`
+	BatchFailures   int `json:"batch_failures"`
+	// Error-injection probes: count run, failures (wrong status or code),
+	// and what went wrong.
+	ErrorChecks        int      `json:"error_checks"`
+	ErrorCheckFailures []string `json:"error_check_failures,omitempty"`
 	// Server-side view, read from /metrics after the run.
 	ServerScheduleBuilds uint64  `json:"server_schedule_builds"`
 	ServerCacheHitRate   float64 `json:"server_schedule_cache_hit_rate"`
@@ -81,13 +111,25 @@ type LoadReport struct {
 
 // Err returns nil when the run upheld the service contract: every request
 // succeeded, every response matched the direct library computation
-// byte-for-byte, and the server's schedule cache absorbed repeats.
+// byte-for-byte, every batch variant matched its single-request twin, every
+// injected error came back with its documented code, and the server's
+// schedule cache absorbed repeats.
 func (r *LoadReport) Err() error {
 	if r.Failures > 0 {
 		return fmt.Errorf("loadtest: %d/%d requests failed", r.Failures, r.Requests)
 	}
 	if r.Mismatches > 0 {
 		return fmt.Errorf("loadtest: %d responses diverged from direct library computation", r.Mismatches)
+	}
+	if r.BatchFailures > 0 {
+		return fmt.Errorf("loadtest: %d/%d batch requests failed", r.BatchFailures, r.BatchRequests)
+	}
+	if r.BatchMismatches > 0 {
+		return fmt.Errorf("loadtest: %d batch variants diverged from their /v1/simulate twin", r.BatchMismatches)
+	}
+	if len(r.ErrorCheckFailures) > 0 {
+		return fmt.Errorf("loadtest: %d/%d error probes failed: %s",
+			len(r.ErrorCheckFailures), r.ErrorChecks, strings.Join(r.ErrorCheckFailures, "; "))
 	}
 	if r.Requests > r.DistinctConfigs && r.ServerCacheHitRate <= 0 {
 		return fmt.Errorf("loadtest: schedule cache hit rate is zero across %d requests over %d configs", r.Requests, r.DistinctConfigs)
@@ -98,12 +140,17 @@ func (r *LoadReport) Err() error {
 // RunLoad hammers a running tictacd with a deterministic request mix and
 // verifies every response against a direct library call.
 //
-// The workload cycles through the cross product of Models × Policies
-// (workers=2, ps=1), so with Requests > distinct configs the server must
-// serve repeats from cache. For each distinct config the expected result is
-// computed once, in-process, through the exact same code path the server's
-// cache build uses (cluster.Build → ComputeSchedule → one predicted
-// iteration) — a response that differs in any byte is a mismatch.
+// The schedule workload cycles through the cross product of Models ×
+// Policies (workers=2, ps=1), so with Requests > distinct configs the
+// server must serve repeats from cache. For each distinct config the
+// expected result is computed once, in-process, through the exact same code
+// path the server's cache build uses (cluster.Build → ComputeSchedule → one
+// predicted iteration) — a response that differs in any byte is a mismatch.
+//
+// Mixed into the same worker pool, Batches /v1/batch requests fan a policy
+// sweep (plus a duplicate and a straggler scenario) over the first model;
+// each variant's payload is then fetched again as a single /v1/simulate
+// request and compared byte-for-byte.
 func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	opts = opts.withDefaults()
 	if opts.Target == "" {
@@ -118,7 +165,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	var items []workItem
 	for _, m := range opts.Models {
 		for _, p := range opts.Policies {
-			req := ScheduleRequest{Model: m, Policy: p, Workers: 2, PS: 1, Seed: opts.Seed}
+			req := ScheduleRequest{WorkloadSpec: WorkloadSpec{Model: m, Policy: p, Workers: 2, PS: 1, Seed: opts.Seed}}
 			res, err := req.resolve()
 			if err != nil {
 				return nil, fmt.Errorf("loadtest: bad workload request: %w", err)
@@ -130,7 +177,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 			entry, err := computeScheduleResult(&clusterEntry{
 				c:              c,
 				graphDigest:    core.GraphDigest(c.Graph),
-				platformDigest: core.PlatformDigest(res.cfg.Platform),
+				platformDigest: res.key.platformDigest,
 			}, res)
 			if err != nil {
 				return nil, fmt.Errorf("loadtest: direct schedule: %w", err)
@@ -144,9 +191,13 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		Requests:        opts.Requests,
 		Concurrency:     opts.Concurrency,
 		DistinctConfigs: len(items),
+		BatchRequests:   opts.Batches,
 	}
 	var failures, mismatches, cached atomic.Int64
+	var batchVariants, batchMismatches, batchFailures atomic.Int64
 	lat := stats.NewLatencyRecorder(opts.Requests)
+	// Indices [0, Requests) are schedule requests; [Requests,
+	// Requests+Batches) are batch requests, interleaved into the feed.
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -155,6 +206,15 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
+				if i >= opts.Requests {
+					vars, miss, err := runBatchProbe(opts, int64(i-opts.Requests))
+					batchVariants.Add(int64(vars))
+					batchMismatches.Add(int64(miss))
+					if err != nil {
+						batchFailures.Add(1)
+					}
+					continue
+				}
 				item := items[i%len(items)]
 				t0 := time.Now()
 				gotCached, err := postSchedule(opts.Client, opts.Target, item.req, item.expected)
@@ -170,8 +230,23 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 			}
 		}()
 	}
+	stride := opts.Requests
+	if opts.Batches > 0 {
+		stride = opts.Requests / opts.Batches
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	sent := 0
 	for i := 0; i < opts.Requests; i++ {
 		indices <- i
+		if opts.Batches > 0 && (i+1)%stride == 0 && sent < opts.Batches {
+			indices <- opts.Requests + sent
+			sent++
+		}
+	}
+	for ; sent < opts.Batches; sent++ {
+		indices <- opts.Requests + sent
 	}
 	close(indices)
 	wg.Wait()
@@ -179,7 +254,14 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	report.Failures = int(failures.Load())
 	report.Mismatches = int(mismatches.Load())
 	report.CachedResponses = int(cached.Load())
+	report.BatchVariants = int(batchVariants.Load())
+	report.BatchMismatches = int(batchMismatches.Load())
+	report.BatchFailures = int(batchFailures.Load())
 	report.Latency = lat.Snapshot()
+
+	if opts.CheckErrors {
+		report.ErrorChecks, report.ErrorCheckFailures = runErrorChecks(opts)
+	}
 
 	// Server-side cache view.
 	metrics, err := fetchMetrics(opts.Client, opts.Target)
@@ -191,27 +273,146 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	return report, nil
 }
 
+// loadBatchRequest is the deterministic batch request for probe b: a policy
+// sweep over the first model, plus a duplicate of the first variant (which
+// the server must coalesce) and a straggler scenario.
+func loadBatchRequest(opts LoadOptions, b int64) BatchRequest {
+	base := WorkloadSpec{
+		Model:             opts.Models[0],
+		Workers:           2,
+		PS:                1,
+		Seed:              opts.Seed + b,
+		MeasureIterations: 4,
+	}
+	req := BatchRequest{Workload: &base}
+	for _, p := range opts.Policies {
+		p := p
+		req.Variants = append(req.Variants, BatchVariant{Label: "policy-" + p, Policy: &p})
+	}
+	req.Variants = append(req.Variants, req.Variants[0])
+	slow := opts.Policies[0]
+	req.Variants = append(req.Variants, BatchVariant{
+		Label:      "straggler",
+		Policy:     &slow,
+		Stragglers: &[]StragglerSpec{{Worker: 0, Factor: 2.5, From: 1, Until: 3}},
+	})
+	return req
+}
+
+// runBatchProbe fires one batch request and compares every variant's
+// payload byte-for-byte against the equivalent single /v1/simulate
+// response. Returns (variants compared, mismatches, transport error).
+func runBatchProbe(opts LoadOptions, b int64) (vars, mismatches int, err error) {
+	req := loadBatchRequest(opts, b)
+	status, payload, err := postJSON(opts.Client, opts.Target+"/v1/batch", req)
+	if err != nil {
+		return 0, 0, err
+	}
+	if status != http.StatusOK {
+		return 0, 0, fmt.Errorf("batch status %d: %s", status, payload)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return 0, 0, err
+	}
+	if len(resp.Variants) != len(req.Variants) {
+		return 0, 0, fmt.Errorf("batch returned %d variants for %d", len(resp.Variants), len(req.Variants))
+	}
+	base := *req.Workload
+	for i, vr := range resp.Variants {
+		if vr.Error != nil {
+			return vars, mismatches, fmt.Errorf("variant %d: %s: %s", i, vr.Error.Code, vr.Error.Message)
+		}
+		single := SimulateRequest{WorkloadSpec: req.Variants[i].apply(base)}
+		status, payload, err := postJSON(opts.Client, opts.Target+"/v1/simulate", single)
+		if err != nil {
+			return vars, mismatches, err
+		}
+		if status != http.StatusOK {
+			return vars, mismatches, fmt.Errorf("simulate twin status %d: %s", status, payload)
+		}
+		var sr struct {
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(payload, &sr); err != nil {
+			return vars, mismatches, err
+		}
+		var a, b bytes.Buffer
+		if err := json.Compact(&a, vr.Result); err != nil {
+			return vars, mismatches, err
+		}
+		if err := json.Compact(&b, sr.Result); err != nil {
+			return vars, mismatches, err
+		}
+		vars++
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			mismatches++
+		}
+	}
+	return vars, mismatches, nil
+}
+
+// runErrorChecks fires deliberately broken requests and asserts each comes
+// back with its documented HTTP status and stable error code.
+func runErrorChecks(opts LoadOptions) (checks int, failed []string) {
+	expect := func(name string, wantStatus int, wantCode string, status int, payload []byte, err error) {
+		checks++
+		if err != nil {
+			failed = append(failed, fmt.Sprintf("%s: %v", name, err))
+			return
+		}
+		var er ErrorResponse
+		if jsonErr := json.Unmarshal(payload, &er); jsonErr != nil {
+			failed = append(failed, fmt.Sprintf("%s: non-envelope error body %q", name, payload))
+			return
+		}
+		if status != wantStatus || er.Error.Code != wantCode {
+			failed = append(failed, fmt.Sprintf("%s: got %d/%s, want %d/%s", name, status, er.Error.Code, wantStatus, wantCode))
+		}
+	}
+	post := func(path string, v any) (int, []byte, error) {
+		return postJSON(opts.Client, opts.Target+path, v)
+	}
+
+	st, body, err := post("/v1/schedule", ScheduleRequest{WorkloadSpec: WorkloadSpec{Model: "NoSuchNet"}})
+	expect("unknown model", http.StatusBadRequest, CodeUnknownModel, st, body, err)
+
+	st, body, err = post("/v1/simulate", SimulateRequest{WorkloadSpec: WorkloadSpec{Model: opts.Models[0], Policy: "astrology"}})
+	expect("unknown policy", http.StatusBadRequest, CodeUnknownPolicy, st, body, err)
+
+	st, body, err = postRaw(opts.Client, opts.Target+"/v1/schedule", []byte(`{"model": `))
+	expect("malformed JSON", http.StatusBadRequest, CodeBadRequest, st, body, err)
+
+	st, body, err = getRaw(opts.Client, opts.Target+"/v1/schedule")
+	expect("wrong method", http.StatusMethodNotAllowed, CodeMethodNotAllowed, st, body, err)
+
+	st, body, err = getRaw(opts.Client, opts.Target+"/v1/nope")
+	expect("unknown path", http.StatusNotFound, CodeNotFound, st, body, err)
+
+	st, body, err = post("/v1/batch", BatchRequest{Workload: &WorkloadSpec{Model: opts.Models[0]}})
+	expect("empty batch", http.StatusBadRequest, CodeBadRequest, st, body, err)
+
+	if opts.BatchLimit > 0 {
+		over := BatchRequest{Workload: &WorkloadSpec{Model: opts.Models[0]}}
+		over.Variants = make([]BatchVariant, opts.BatchLimit+1)
+		st, body, err = post("/v1/batch", over)
+		expect("oversized batch", http.StatusRequestEntityTooLarge, CodeBatchTooLarge, st, body, err)
+	}
+	return checks, failed
+}
+
 // errMismatch distinguishes contract violations from transport failures.
 var errMismatch = errors.New("response diverged from direct library computation")
 
 // postSchedule sends one schedule request and verifies the response payload
 // against the expected canonical bytes.
 func postSchedule(client *http.Client, target string, req ScheduleRequest, expected []byte) (cached bool, err error) {
-	body, err := json.Marshal(req)
+	status, payload, err := postJSON(client, target+"/v1/schedule", req)
 	if err != nil {
 		return false, err
 	}
-	resp, err := client.Post(target+"/v1/schedule", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return false, err
-	}
-	defer resp.Body.Close()
-	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-	if err != nil {
-		return false, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("status %d: %s", resp.StatusCode, payload)
+	if status != http.StatusOK {
+		return false, fmt.Errorf("status %d: %s", status, payload)
 	}
 	var sr ScheduleResponse
 	if err := json.Unmarshal(payload, &sr); err != nil {
@@ -226,6 +427,41 @@ func postSchedule(client *http.Client, target string, req ScheduleRequest, expec
 		return sr.Cached, errMismatch
 	}
 	return sr.Cached, nil
+}
+
+// postJSON marshals v and POSTs it, returning the status and body.
+func postJSON(client *http.Client, url string, v any) (int, []byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	return postRaw(client, url, body)
+}
+
+func postRaw(client *http.Client, url string, body []byte) (int, []byte, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, payload, nil
+}
+
+func getRaw(client *http.Client, url string) (int, []byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, payload, nil
 }
 
 func fetchMetrics(client *http.Client, target string) (*MetricsResponse, error) {

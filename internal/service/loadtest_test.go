@@ -44,6 +44,8 @@ func TestRunLoadAgainstInProcessServer(t *testing.T) {
 		Seed:        1,
 		Models:      []string{"AlexNet v2", "Inception v1"},
 		Policies:    []string{"tic"},
+		CheckErrors: true,
+		BatchLimit:  DefaultMaxBatch,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -57,9 +59,11 @@ func TestRunLoadAgainstInProcessServer(t *testing.T) {
 	if report.Failures != 0 || report.Mismatches != 0 {
 		t.Errorf("failures/mismatches = %d/%d, want 0/0", report.Failures, report.Mismatches)
 	}
-	// 60 requests over 2 configs: the cache must have absorbed the repeats.
-	if report.ServerScheduleBuilds != 2 {
-		t.Errorf("server built %d schedules for 2 distinct configs", report.ServerScheduleBuilds)
+	// Schedule builds: 2 for the 60-request schedule load (one per distinct
+	// config), plus 3 for the batch mix — its 4 probes use seeds 1..4 on the
+	// AlexNet config, and seed 1 coincides with the schedule load's slot.
+	if report.ServerScheduleBuilds != 5 {
+		t.Errorf("server built %d schedules, want 5 (2 load configs + 3 new batch seeds)", report.ServerScheduleBuilds)
 	}
 	if report.ServerCacheHitRate <= 0.9 {
 		t.Errorf("server cache hit rate = %v, want > 0.9 for 60 requests / 2 configs", report.ServerCacheHitRate)
@@ -70,9 +74,67 @@ func TestRunLoadAgainstInProcessServer(t *testing.T) {
 	if report.Latency.Count != 60 || report.Latency.P99 <= 0 {
 		t.Errorf("latency summary = %+v, want 60 samples", report.Latency)
 	}
+	// Batch mix: 4 probes × (1 policy variant + 1 duplicate + 1 straggler),
+	// every variant byte-identical to its /v1/simulate twin.
+	if report.BatchRequests != 4 || report.BatchVariants != 12 {
+		t.Errorf("batch requests/variants = %d/%d, want 4/12", report.BatchRequests, report.BatchVariants)
+	}
+	if report.BatchMismatches != 0 || report.BatchFailures != 0 {
+		t.Errorf("batch mismatches/failures = %d/%d, want 0/0", report.BatchMismatches, report.BatchFailures)
+	}
+	// Error-injection probes all asserted their documented status + code.
+	if report.ErrorChecks != 7 || len(report.ErrorCheckFailures) != 0 {
+		t.Errorf("error checks = %d (failures %v), want 7 clean probes", report.ErrorChecks, report.ErrorCheckFailures)
+	}
 	_, schedBuilds := svc.BuildCounts()
-	if schedBuilds != 2 {
-		t.Errorf("service built %d schedules, want 2", schedBuilds)
+	if schedBuilds != 5 {
+		t.Errorf("service built %d schedules, want 5", schedBuilds)
+	}
+}
+
+// The error-injection probes must catch a server whose failure paths don't
+// speak the structured envelope (here: a proxy rewriting error bodies to
+// plain text, as a pre-envelope server would).
+func TestRunLoadErrorChecksCatchBadEnvelope(t *testing.T) {
+	svc := New(Options{})
+	inner := svc.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := httptest.NewRecorder()
+		inner.ServeHTTP(rec, r)
+		if rec.Code >= 400 {
+			w.Header().Set("Content-Type", "text/plain")
+			w.WriteHeader(rec.Code)
+			w.Write([]byte("error: something went wrong\n"))
+			return
+		}
+		for k, vs := range rec.Header() {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rec.Code)
+		w.Write(rec.Body.Bytes())
+	}))
+	defer ts.Close()
+
+	report, err := RunLoad(LoadOptions{
+		Target:      ts.URL,
+		Requests:    4,
+		Concurrency: 2,
+		Models:      []string{"AlexNet v2"},
+		Policies:    []string{"tic"},
+		Batches:     -1,
+		CheckErrors: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.ErrorCheckFailures) != report.ErrorChecks || report.ErrorChecks == 0 {
+		t.Errorf("error probes = %d with %d failures, want every probe to flag the plain-text server",
+			report.ErrorChecks, len(report.ErrorCheckFailures))
+	}
+	if report.Err() == nil {
+		t.Error("report.Err() = nil despite failing error probes")
 	}
 }
 

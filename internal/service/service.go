@@ -6,41 +6,46 @@
 //
 //	POST /v1/schedule   compute a transfer schedule + predicted makespan
 //	POST /v1/simulate   run the warmup/measure experiment protocol
+//	POST /v1/batch      fan one workload out across many what-if variants
 //	GET  /v1/policies   list registered scheduling policies
 //	GET  /healthz       liveness probe
 //	GET  /metrics       request counts, cache hit rates, p50/p99 latency
 //
+// Every request resolves through one WorkloadSpec envelope — a single
+// validation/digest path shared by all three POST endpoints — and every
+// error is a structured JSON envelope {"error":{"code","message"}} with a
+// stable code (see errors.go).
+//
 // Two content-addressed caches (internal/cache: sharded LRU + singleflight)
-// sit under the handlers. Clusters are cached by their full build
-// configuration; schedules by (graph digest, platform digest, policy,
-// warmup, seed) — the digest keying means two requests share a schedule
-// slot exactly when they are semantically identical, however they were
-// phrased (e.g. batch_factor 0 and 1 resolve to the same graph). Concurrent
-// identical requests coalesce onto one build; a cached cluster also carries
-// the shared sim.Runner pool every simulation of that graph reuses.
+// sit under the handlers. Clusters are cached by (graph shape, platform
+// digest); schedules by (graph digest, platform digest, policy, warmup,
+// seed) — the digest keying means two requests share a slot exactly when
+// they are semantically identical, however they were phrased (e.g.
+// batch_factor 0 and 1 resolve to the same graph, and an empty overrides
+// object resolves to the homogeneous platform). Concurrent identical
+// requests coalesce onto one build; a cached cluster also carries the
+// shared sim.Runner pool every simulation of that graph reuses, and batch
+// variants that only change the cost model derive their cluster from the
+// base via cluster.WithPlatforms instead of re-parsing the graph.
 //
 // Determinism contract: every response body is a pure function of the
 // request. All randomness derives from the request seed, predicted
 // makespans are simulated with zero jitter unless the request says
-// otherwise, and cached responses are byte-identical to freshly built ones
-// (the loadtest in this package and the CI service-smoke job hold the
-// server to that).
+// otherwise, cached responses are byte-identical to freshly built ones, and
+// batch results are bit-identical at any worker-pool width (the loadtest in
+// this package and the CI service-smoke job hold the server to all of it).
 package service
 
 import (
 	"encoding/json"
-	"fmt"
-	"strings"
+	"reflect"
 	"sync/atomic"
 	"time"
 
 	"tictac/internal/cache"
 	"tictac/internal/cluster"
 	"tictac/internal/core"
-	"tictac/internal/model"
-	"tictac/internal/sched"
 	"tictac/internal/stats"
-	"tictac/internal/timing"
 )
 
 // Options configures a Service. The zero value selects sensible defaults.
@@ -53,6 +58,13 @@ type Options struct {
 	// LatencyWindow is the per-endpoint latency sample window for /metrics
 	// percentiles. <= 0 selects stats.DefaultLatencyWindow.
 	LatencyWindow int
+	// MaxBatch caps the variant count of a single /v1/batch request;
+	// requests above it are rejected with 413 batch_too_large. <= 0 selects
+	// DefaultMaxBatch.
+	MaxBatch int
+	// BatchJobs is the worker-pool width batch variants fan out on. <= 0
+	// selects engine.DefaultJobs. Results are bit-identical at any width.
+	BatchJobs int
 }
 
 // Default cache geometry: capacities sized for the Table 1 catalog times a
@@ -61,6 +73,8 @@ type Options struct {
 const (
 	DefaultCacheCapacity = 256
 	DefaultShards        = 8
+	// DefaultMaxBatch is the default /v1/batch variant cap (-max-batch).
+	DefaultMaxBatch = 1024
 )
 
 // Service implements the tictacd HTTP API. Create with New; the zero value
@@ -70,11 +84,16 @@ type Service struct {
 	opts  Options
 	start time.Time
 
-	clusters  *cache.Cache[cluster.Config, *clusterEntry]
+	clusters  *cache.Cache[clusterKey, *clusterEntry]
 	schedules *cache.Cache[scheduleKey, *scheduleEntry]
 
-	clusterBuilds  atomic.Uint64
-	scheduleBuilds atomic.Uint64
+	// clusterBuilds counts full graph parses (cluster.Build);
+	// derivedClusters counts cost-model-only derivations
+	// (cluster.WithPlatforms) that reuse an already-parsed graph. A batch
+	// of N variants over one graph adds exactly 1 to clusterBuilds.
+	clusterBuilds   atomic.Uint64
+	derivedClusters atomic.Uint64
+	scheduleBuilds  atomic.Uint64
 
 	// scheduleBuildHook, when non-nil, runs inside every schedule build
 	// (test instrumentation for coalescing proofs).
@@ -119,137 +138,70 @@ func New(opts Options) *Service {
 	if opts.Shards <= 0 {
 		opts.Shards = DefaultShards
 	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
 	s := &Service{
 		opts:      opts,
 		start:     time.Now(),
-		clusters:  cache.New[cluster.Config, *clusterEntry](opts.Shards, opts.CacheCapacity),
+		clusters:  cache.New[clusterKey, *clusterEntry](opts.Shards, opts.CacheCapacity),
 		schedules: cache.New[scheduleKey, *scheduleEntry](opts.Shards, opts.CacheCapacity),
 		endpoints: make(map[string]*endpointMetrics),
 	}
-	for _, name := range []string{"schedule", "simulate", "policies", "healthz", "metrics"} {
+	for _, name := range []string{"schedule", "simulate", "batch", "policies", "healthz", "metrics"} {
 		s.endpoints[name] = &endpointMetrics{lat: stats.NewLatencyRecorder(opts.LatencyWindow)}
 	}
 	return s
 }
 
-// ScheduleRequest is the body of POST /v1/schedule and the cluster-shaped
-// core of POST /v1/simulate. Zero fields take documented defaults; see
-// docs/service.md.
+// ScheduleRequest is the body of POST /v1/schedule and (by alias) of
+// POST /v1/simulate. The canonical form wraps the workload in an envelope:
+//
+//	{"workload": {"model": "AlexNet", "policy": "tic", ...}}
+//
+// The pre-envelope flat layout — the same fields at the top level — is
+// still accepted for compatibility and resolves identically. Mixing both
+// forms in one request is rejected.
 type ScheduleRequest struct {
-	// Model is a Table 1 model name, e.g. "ResNet-50 v2". Required.
-	Model string `json:"model"`
-	// Mode is "training" (default) or "inference".
-	Mode string `json:"mode,omitempty"`
-	// Workers / PS size the cluster (both default to 1).
-	Workers int `json:"workers,omitempty"`
-	PS      int `json:"ps,omitempty"`
-	// BatchFactor scales the model's standard batch size (0 = 1).
-	BatchFactor float64 `json:"batch_factor,omitempty"`
-	// Iterations chains back-to-back iterations into one graph (0 or 1 =
-	// single iteration).
-	Iterations int `json:"iterations,omitempty"`
-	// SharedPSNIC selects the shared-PS-NIC network model.
-	SharedPSNIC bool `json:"shared_ps_nic,omitempty"`
-	// Env is the platform profile: "envG" (default) or "envC".
-	Env string `json:"env,omitempty"`
-	// Policy is a registered scheduling policy name, or "none" for the
-	// unscheduled baseline. Default "tic".
-	Policy string `json:"policy,omitempty"`
-	// Warmup is the traced-warmup iteration count for oracle policies
-	// (tac); 0 selects the library default.
-	Warmup int `json:"warmup,omitempty"`
-	// Seed feeds every random choice derived from this request.
-	Seed int64 `json:"seed,omitempty"`
+	// Workload is the canonical envelope.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// The embedded spec fields accept the legacy flat layout.
+	WorkloadSpec
 }
 
-// resolved is a validated, normalized request: the exact cluster build
-// configuration plus the normalized names echoed in responses.
-type resolved struct {
-	cfg    cluster.Config
-	mode   string
-	env    string
-	policy string
-	warmup int
-	seed   int64
+// SimulateRequest is the body of POST /v1/simulate. It is the same envelope
+// as ScheduleRequest: the simulate protocol knobs (warmup_iterations,
+// measure_iterations, jitter, reorder_prob, stragglers, contention) are
+// part of WorkloadSpec and simply ignored by /v1/schedule.
+type SimulateRequest = ScheduleRequest
+
+// spec returns the single WorkloadSpec this request denotes, rejecting
+// requests that mix the envelope with top-level flat fields (silently
+// preferring one would make the other's knobs vanish).
+func (req ScheduleRequest) spec() (WorkloadSpec, error) {
+	if req.Workload == nil {
+		return req.WorkloadSpec, nil
+	}
+	if !reflect.DeepEqual(req.WorkloadSpec, WorkloadSpec{}) {
+		return WorkloadSpec{}, badRequest(`request mixes the "workload" envelope with top-level workload fields; use one form`)
+	}
+	return *req.Workload, nil
 }
 
-// resolve validates the request and normalizes it into a build
-// configuration. All failures are client errors.
+// resolve is the one validation/digest path every POST endpoint goes
+// through: envelope normalization, then WorkloadSpec.resolve.
 func (req ScheduleRequest) resolve() (resolved, error) {
-	var r resolved
-	spec, ok := model.ByName(req.Model)
-	if !ok {
-		return r, fmt.Errorf("unknown model %q (GET /v1/policies lists policies; see Table 1 for models)", req.Model)
+	spec, err := req.spec()
+	if err != nil {
+		return resolved{}, err
 	}
-	var mode model.Mode
-	switch strings.ToLower(req.Mode) {
-	case "", "training", "train":
-		mode, r.mode = model.Training, "training"
-	case "inference", "infer":
-		mode, r.mode = model.Inference, "inference"
-	default:
-		return r, fmt.Errorf("unknown mode %q (training|inference)", req.Mode)
-	}
-	var platform timing.Platform
-	switch strings.ToLower(req.Env) {
-	case "", "envg":
-		platform, r.env = timing.EnvG(), "envG"
-	case "envc":
-		platform, r.env = timing.EnvC(), "envC"
-	default:
-		return r, fmt.Errorf("unknown env %q (envG|envC)", req.Env)
-	}
-	r.policy = strings.ToLower(strings.TrimSpace(req.Policy))
-	if r.policy == "" {
-		r.policy = sched.TIC
-	}
-	if r.policy != sched.None {
-		if _, err := sched.New(r.policy, 0); err != nil {
-			return r, err
-		}
-	}
-	workers, ps := req.Workers, req.PS
-	if workers == 0 {
-		workers = 1
-	}
-	if ps == 0 {
-		ps = 1
-	}
-	if workers < 1 || ps < 1 {
-		return r, fmt.Errorf("workers and ps must be >= 1 (got %d, %d)", req.Workers, req.PS)
-	}
-	if req.BatchFactor < 0 {
-		return r, fmt.Errorf("batch_factor must be >= 0 (got %g)", req.BatchFactor)
-	}
-	if req.Iterations < 0 || req.Iterations > 64 {
-		return r, fmt.Errorf("iterations must be in [0, 64] (got %d)", req.Iterations)
-	}
-	if req.Warmup < 0 || req.Warmup > 100 {
-		return r, fmt.Errorf("warmup must be in [0, 100] (got %d)", req.Warmup)
-	}
-	const maxDevices = 64
-	if workers*ps > maxDevices*maxDevices || workers > maxDevices || ps > maxDevices {
-		return r, fmt.Errorf("cluster too large: workers and ps are capped at %d each", maxDevices)
-	}
-	r.cfg = cluster.Config{
-		Model:       spec,
-		Mode:        mode,
-		Workers:     workers,
-		PS:          ps,
-		BatchFactor: req.BatchFactor,
-		Platform:    platform,
-		Iterations:  req.Iterations,
-		SharedPSNIC: req.SharedPSNIC,
-	}
-	r.warmup = req.Warmup
-	r.seed = req.Seed
-	return r, nil
+	return spec.resolve()
 }
 
-// buildCluster returns the cached cluster for the resolved configuration,
-// building (and digesting) it at most once per residency.
+// buildCluster returns the cached cluster for the resolved spec, parsing
+// and digesting the graph at most once per residency.
 func (s *Service) buildCluster(r resolved) (*clusterEntry, cache.Outcome, error) {
-	return s.clusters.Do(r.cfg, func() (*clusterEntry, error) {
+	return s.clusters.Do(r.key, func() (*clusterEntry, error) {
 		s.clusterBuilds.Add(1)
 		c, err := cluster.Build(r.cfg)
 		if err != nil {
@@ -258,7 +210,27 @@ func (s *Service) buildCluster(r resolved) (*clusterEntry, cache.Outcome, error)
 		return &clusterEntry{
 			c:              c,
 			graphDigest:    core.GraphDigest(c.Graph),
-			platformDigest: core.PlatformDigest(r.cfg.Platform),
+			platformDigest: r.key.platformDigest,
+		}, nil
+	})
+}
+
+// derivedCluster returns the cached cluster for a resolved spec that shares
+// its graph shape with base and differs only in cost model, deriving it via
+// cluster.WithPlatforms on a miss — no second graph parse, and the base's
+// sim.Runner pool is shared. The batch handler routes every non-base
+// variant cluster through here.
+func (s *Service) derivedCluster(base *clusterEntry, r resolved) (*clusterEntry, cache.Outcome, error) {
+	return s.clusters.Do(r.key, func() (*clusterEntry, error) {
+		s.derivedClusters.Add(1)
+		c, err := base.c.WithPlatforms(r.cfg.Platform, r.cfg.Platforms)
+		if err != nil {
+			return nil, err
+		}
+		return &clusterEntry{
+			c:              c,
+			graphDigest:    base.graphDigest,
+			platformDigest: r.key.platformDigest,
 		}, nil
 	})
 }
@@ -331,6 +303,26 @@ func computeScheduleResult(ce *clusterEntry, r resolved) (*scheduleEntry, error)
 	return &scheduleEntry{sched: sc, result: result, payload: payload}, nil
 }
 
+// scheduleFor returns the cached schedule entry for a resolved spec on an
+// already-built cluster. The batch handler calls it directly so duplicate
+// variants coalesce onto one schedule computation.
+func (s *Service) scheduleFor(ce *clusterEntry, r resolved) (*scheduleEntry, cache.Outcome, error) {
+	key := scheduleKey{
+		graphDigest:    ce.graphDigest,
+		platformDigest: ce.platformDigest,
+		policy:         r.policy,
+		warmup:         r.warmup,
+		seed:           r.seed,
+	}
+	return s.schedules.Do(key, func() (*scheduleEntry, error) {
+		s.scheduleBuilds.Add(1)
+		if s.scheduleBuildHook != nil {
+			s.scheduleBuildHook()
+		}
+		return computeScheduleResult(ce, r)
+	})
+}
+
 // schedule returns the cached schedule entry for the resolved request plus
 // the cluster entry it was computed on (so callers like simulate don't pay
 // a second cluster-cache lookup), reporting whether any build work happened
@@ -340,20 +332,7 @@ func (s *Service) schedule(r resolved) (*scheduleEntry, *clusterEntry, bool, err
 	if err != nil {
 		return nil, nil, false, err
 	}
-	key := scheduleKey{
-		graphDigest:    ce.graphDigest,
-		platformDigest: ce.platformDigest,
-		policy:         r.policy,
-		warmup:         r.warmup,
-		seed:           r.seed,
-	}
-	e, outcome, err := s.schedules.Do(key, func() (*scheduleEntry, error) {
-		s.scheduleBuilds.Add(1)
-		if s.scheduleBuildHook != nil {
-			s.scheduleBuildHook()
-		}
-		return computeScheduleResult(ce, r)
-	})
+	e, outcome, err := s.scheduleFor(ce, r)
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -362,11 +341,18 @@ func (s *Service) schedule(r resolved) (*scheduleEntry, *clusterEntry, bool, err
 }
 
 // BuildCounts reports how many cluster and schedule builds the service has
-// executed (cache misses that reached the library). The concurrency tests
-// use this to prove request coalescing: N identical in-flight requests must
-// add exactly 1.
+// executed (cache misses that reached the library). Cluster builds count
+// full graph parses only — cost-model derivations are DerivedClusterCount.
+// The concurrency and batch tests use this to prove coalescing: N identical
+// in-flight requests (or N variants over one graph) must add exactly 1.
 func (s *Service) BuildCounts() (clusters, schedules uint64) {
 	return s.clusterBuilds.Load(), s.scheduleBuilds.Load()
+}
+
+// DerivedClusterCount reports how many clusters were derived from an
+// already-parsed graph via WithPlatforms (batch variants with overrides).
+func (s *Service) DerivedClusterCount() uint64 {
+	return s.derivedClusters.Load()
 }
 
 // CacheStats returns snapshots of the cluster and schedule caches.

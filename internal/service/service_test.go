@@ -71,7 +71,7 @@ func directScheduleResult(t *testing.T, req ScheduleRequest) []byte {
 	entry, err := computeScheduleResult(&clusterEntry{
 		c:              c,
 		graphDigest:    core.GraphDigest(c.Graph),
-		platformDigest: core.PlatformDigest(res.cfg.Platform),
+		platformDigest: res.key.platformDigest,
 	}, res)
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +95,7 @@ func compactResult(t *testing.T, payload []byte) []byte {
 
 func TestScheduleEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
-	req := ScheduleRequest{Model: "AlexNet v2", Policy: "tic", Workers: 2, PS: 1, Seed: 1}
+	req := ScheduleRequest{WorkloadSpec: WorkloadSpec{Model: "AlexNet v2", Policy: "tic", Workers: 2, PS: 1, Seed: 1}}
 
 	resp, payload := post(t, ts.URL+"/v1/schedule", req)
 	if resp.StatusCode != http.StatusOK {
@@ -148,8 +148,8 @@ func TestScheduleDigestKeyUnifiesEquivalentRequests(t *testing.T) {
 	// batch_factor 0 and 1 resolve to the same batch; iterations 0 and 1 to
 	// the same graph. Digest keying must land them in one cache slot.
 	svc, ts := newTestServer(t, Options{})
-	a := ScheduleRequest{Model: "AlexNet v2", Policy: "tic", Seed: 1}
-	b := ScheduleRequest{Model: "AlexNet v2", Policy: "tic", Seed: 1, BatchFactor: 1, Iterations: 1}
+	a := ScheduleRequest{WorkloadSpec: WorkloadSpec{Model: "AlexNet v2", Policy: "tic", Seed: 1}}
+	b := ScheduleRequest{WorkloadSpec: WorkloadSpec{Model: "AlexNet v2", Policy: "tic", Seed: 1, BatchFactor: 1, Iterations: 1}}
 	post(t, ts.URL+"/v1/schedule", a)
 	_, payloadB := post(t, ts.URL+"/v1/schedule", b)
 	var sr ScheduleResponse
@@ -174,15 +174,18 @@ func TestScheduleValidation(t *testing.T) {
 	cases := []struct {
 		name string
 		body string
+		code string
 	}{
-		{"unknown model", `{"model": "NoSuchNet"}`},
-		{"unknown policy", `{"model": "AlexNet v2", "policy": "quantum"}`},
-		{"unknown mode", `{"model": "AlexNet v2", "mode": "dreaming"}`},
-		{"unknown env", `{"model": "AlexNet v2", "env": "envZ"}`},
-		{"negative workers", `{"model": "AlexNet v2", "workers": -1}`},
-		{"oversized cluster", `{"model": "AlexNet v2", "workers": 10000}`},
-		{"unknown field", `{"model": "AlexNet v2", "wrokers": 2}`},
-		{"malformed json", `{"model": `},
+		{"unknown model", `{"model": "NoSuchNet"}`, CodeUnknownModel},
+		{"unknown policy", `{"model": "AlexNet v2", "policy": "quantum"}`, CodeUnknownPolicy},
+		{"unknown mode", `{"model": "AlexNet v2", "mode": "dreaming"}`, CodeUnknownMode},
+		{"unknown env", `{"model": "AlexNet v2", "env": "envZ"}`, CodeUnknownEnv},
+		{"negative workers", `{"model": "AlexNet v2", "workers": -1}`, CodeBadRequest},
+		{"oversized cluster", `{"model": "AlexNet v2", "workers": 10000}`, CodeBadRequest},
+		{"unknown field", `{"model": "AlexNet v2", "wrokers": 2}`, CodeBadRequest},
+		{"malformed json", `{"model": `, CodeBadRequest},
+		{"mixed envelope and flat", `{"workload": {"model": "AlexNet v2"}, "model": "AlexNet v2"}`, CodeBadRequest},
+		{"bad override key", `{"workload": {"model": "AlexNet v2", "overrides": {"devices": {"worker:99": {"slow_compute": 2}}}}}`, CodeBadRequest},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(tc.body))
@@ -197,9 +200,11 @@ func TestScheduleValidation(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, payload)
 		}
-		var e map[string]string
-		if err := json.Unmarshal(payload, &e); err != nil || e["error"] == "" {
-			t.Errorf("%s: error body not JSON {error}: %s", tc.name, payload)
+		var e ErrorResponse
+		if err := json.Unmarshal(payload, &e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
+			t.Errorf("%s: error body not the structured envelope: %s", tc.name, payload)
+		} else if e.Error.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, e.Error.Code, tc.code)
 		}
 	}
 
@@ -207,19 +212,75 @@ func TestScheduleValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	payload, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/schedule status %d, want 405", resp.StatusCode)
+	}
+	if resp.Header.Get("Allow") != http.MethodPost {
+		t.Errorf("405 carries Allow %q, want POST", resp.Header.Get("Allow"))
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(payload, &e); err != nil || e.Error.Code != CodeMethodNotAllowed {
+		t.Errorf("405 body not the structured envelope with %s: %s", CodeMethodNotAllowed, payload)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/does-not-exist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", resp.StatusCode)
+	}
+	if err := json.Unmarshal(payload, &e); err != nil || e.Error.Code != CodeNotFound {
+		t.Errorf("404 body not the structured envelope with %s: %s", CodeNotFound, payload)
+	}
+}
+
+// The pre-envelope flat request layout and the canonical workload envelope
+// must resolve to byte-identical responses.
+func TestLegacyFlatRequestCompatibility(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	flat := `{"model": "AlexNet v2", "policy": "tic", "workers": 2, "ps": 1, "seed": 3}`
+	envelope := `{"workload": {"model": "AlexNet v2", "policy": "tic", "workers": 2, "ps": 1, "seed": 3}}`
+
+	respA, payloadA := post(t, ts.URL+"/v1/schedule", json.RawMessage(flat))
+	respB, payloadB := post(t, ts.URL+"/v1/schedule", json.RawMessage(envelope))
+	if respA.StatusCode != http.StatusOK || respB.StatusCode != http.StatusOK {
+		t.Fatalf("status %d / %d: %s %s", respA.StatusCode, respB.StatusCode, payloadA, payloadB)
+	}
+	if !bytes.Equal(compactResult(t, payloadA), compactResult(t, payloadB)) {
+		t.Error("flat and envelope forms returned different results")
+	}
+
+	// Same equivalence on /v1/simulate, protocol knobs included.
+	flatSim := `{"model": "AlexNet v2", "workers": 2, "measure_iterations": 3, "jitter": 0.05, "seed": 9}`
+	envSim := `{"workload": {"model": "AlexNet v2", "workers": 2, "measure_iterations": 3, "jitter": 0.05, "seed": 9}}`
+	_, simA := post(t, ts.URL+"/v1/simulate", json.RawMessage(flatSim))
+	_, simB := post(t, ts.URL+"/v1/simulate", json.RawMessage(envSim))
+	var a, b SimulateResponse
+	if err := json.Unmarshal(simA, &a); err != nil {
+		t.Fatalf("decode %s: %v", simA, err)
+	}
+	if err := json.Unmarshal(simB, &b); err != nil {
+		t.Fatalf("decode %s: %v", simB, err)
+	}
+	ab, _ := json.Marshal(a.Result)
+	bb, _ := json.Marshal(b.Result)
+	if !bytes.Equal(ab, bb) {
+		t.Errorf("flat and envelope simulate results differ:\n%s\n%s", ab, bb)
 	}
 }
 
 func TestSimulateEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
-	req := SimulateRequest{
-		ScheduleRequest:   ScheduleRequest{Model: "AlexNet v2", Policy: "tic", Workers: 2, Seed: 7},
+	req := SimulateRequest{WorkloadSpec: WorkloadSpec{
+		Model: "AlexNet v2", Policy: "tic", Workers: 2, Seed: 7,
 		WarmupIterations:  1,
 		MeasureIterations: 3,
-	}
+	}}
 	resp, payload := post(t, ts.URL+"/v1/simulate", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, payload)
@@ -298,7 +359,7 @@ func TestPoliciesHealthzMetrics(t *testing.T) {
 	}
 
 	// Drive one schedule request, then check the metrics reflect it.
-	post(t, ts.URL+"/v1/schedule", ScheduleRequest{Model: "AlexNet v2"})
+	post(t, ts.URL+"/v1/schedule", ScheduleRequest{WorkloadSpec: WorkloadSpec{Model: "AlexNet v2"}})
 	resp, payload = get(t, ts.URL+"/metrics")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics status %d", resp.StatusCode)
@@ -335,11 +396,11 @@ func TestConcurrentCoalescing(t *testing.T) {
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
-	hot := ScheduleRequest{Model: "AlexNet v2", Policy: "tic", Workers: 2, PS: 1, Seed: 1}
+	hot := ScheduleRequest{WorkloadSpec: WorkloadSpec{Model: "AlexNet v2", Policy: "tic", Workers: 2, PS: 1, Seed: 1}}
 	cold := []ScheduleRequest{
-		{Model: "AlexNet v2", Policy: "critical-path", Workers: 2, PS: 1, Seed: 1},
-		{Model: "AlexNet v2", Policy: "tic", Workers: 3, PS: 1, Seed: 1},
-		{Model: "Inception v1", Policy: "tic", Workers: 2, PS: 1, Seed: 1},
+		{WorkloadSpec: WorkloadSpec{Model: "AlexNet v2", Policy: "critical-path", Workers: 2, PS: 1, Seed: 1}},
+		{WorkloadSpec: WorkloadSpec{Model: "AlexNet v2", Policy: "tic", Workers: 3, PS: 1, Seed: 1}},
+		{WorkloadSpec: WorkloadSpec{Model: "Inception v1", Policy: "tic", Workers: 2, PS: 1, Seed: 1}},
 	}
 	expected := map[string][]byte{}
 	for _, r := range append([]ScheduleRequest{hot}, cold...) {

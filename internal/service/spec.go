@@ -1,0 +1,329 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+	"tictac/internal/model"
+	"tictac/internal/sched"
+	"tictac/internal/timing"
+)
+
+// WorkloadSpec is the unified workload envelope every endpoint resolves
+// through: one description of (model graph, platform, policy, simulation
+// knobs) shared by /v1/schedule, /v1/simulate and /v1/batch. Zero fields
+// take documented defaults; see docs/service.md for the canonical form.
+//
+// The fields fall into three groups:
+//
+//   - Graph-shaping: Model, Mode, Workers, PS, BatchFactor, Iterations,
+//     SharedPSNIC — together they determine the execution graph. Batch
+//     variants may NOT change these (a batch amortizes one graph).
+//   - Cost model: Env plus optional heterogeneous Overrides.
+//   - Run knobs: Policy, Warmup, Seed, the simulate protocol
+//     (WarmupIterations, MeasureIterations, Jitter, ReorderProb) and
+//     transient Stragglers/Contention windows.
+//
+// /v1/schedule ignores the simulate-protocol and window fields but still
+// validates them — there is exactly one validation path.
+type WorkloadSpec struct {
+	// Model is a Table 1 model name, e.g. "ResNet-50 v2". Required.
+	Model string `json:"model"`
+	// Mode is "training" (default) or "inference".
+	Mode string `json:"mode,omitempty"`
+	// Workers / PS size the cluster (both default to 1).
+	Workers int `json:"workers,omitempty"`
+	PS      int `json:"ps,omitempty"`
+	// BatchFactor scales the model's standard batch size (0 = 1).
+	BatchFactor float64 `json:"batch_factor,omitempty"`
+	// Iterations chains back-to-back iterations into one graph (0 or 1 =
+	// single iteration).
+	Iterations int `json:"iterations,omitempty"`
+	// SharedPSNIC selects the shared-PS-NIC network model.
+	SharedPSNIC bool `json:"shared_ps_nic,omitempty"`
+	// Env is the platform profile: "envG" (default) or "envC".
+	Env string `json:"env,omitempty"`
+	// Overrides layers heterogeneous per-device / per-channel costs over
+	// Env; nil or empty is the homogeneous model, bit-identically.
+	Overrides *PlatformOverrides `json:"overrides,omitempty"`
+	// Policy is a registered scheduling policy name, or "none" for the
+	// unscheduled baseline. Default "tic".
+	Policy string `json:"policy,omitempty"`
+	// Warmup is the traced-warmup iteration count for oracle policies
+	// (tac); 0 selects the library default.
+	Warmup int `json:"warmup,omitempty"`
+	// Seed feeds every random choice derived from this request.
+	Seed int64 `json:"seed,omitempty"`
+
+	// WarmupIterations / MeasureIterations set the simulate experiment
+	// protocol (defaults: the paper's 2 warmup / 10 measured).
+	WarmupIterations  int `json:"warmup_iterations,omitempty"`
+	MeasureIterations int `json:"measure_iterations,omitempty"`
+	// Jitter is the relative runtime noise; omitted or null selects the
+	// platform default, 0 disables noise.
+	Jitter *float64 `json:"jitter,omitempty"`
+	// ReorderProb injects gRPC-style priority inversions.
+	ReorderProb float64 `json:"reorder_prob,omitempty"`
+	// Stragglers transiently slow one worker's compute for a window of
+	// iterations; Contention slows every transfer for a window.
+	Stragglers []StragglerSpec  `json:"stragglers,omitempty"`
+	Contention []ContentionSpec `json:"contention,omitempty"`
+}
+
+// PlatformOverrides is the wire form of a heterogeneous cost model: named
+// devices run scaled profiles, named channels carry their own network
+// costs. Keys are validated against the cluster's actual device tags
+// ("worker:0", "ps:1") and channel resources ("worker:0/net:ps:1", or
+// "ps:0/net" in shared-NIC mode) — a typo is a 400, not a silent no-op.
+type PlatformOverrides struct {
+	Devices  map[string]DeviceOverride  `json:"devices,omitempty"`
+	Channels map[string]ChannelOverride `json:"channels,omitempty"`
+}
+
+// DeviceOverride scales one device's profile relative to the base env.
+type DeviceOverride struct {
+	// SlowCompute makes the device's compute k× slower (0 or 1 = unchanged;
+	// values in (0,1) model a faster device).
+	SlowCompute float64 `json:"slow_compute,omitempty"`
+	// SlowNet makes the device's network k× slower, same semantics.
+	SlowNet float64 `json:"slow_net,omitempty"`
+}
+
+// ChannelOverride replaces one channel's network cost model.
+type ChannelOverride struct {
+	// Bandwidth is the channel throughput in bytes/s (0 = inherit).
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// Latency is the fixed per-transfer setup cost in seconds (0 = inherit).
+	Latency float64 `json:"latency,omitempty"`
+}
+
+// empty reports whether the overrides carry no entries at all; an empty
+// overrides object resolves exactly like no overrides, keeping the
+// homogeneous digest (and therefore cache slot) unchanged.
+func (o *PlatformOverrides) empty() bool {
+	return o == nil || (len(o.Devices) == 0 && len(o.Channels) == 0)
+}
+
+// StragglerSpec is the wire form of cluster.Straggler: worker Worker's
+// compute is Factor× slower during iterations [From, Until) of the
+// experiment protocol (warmup included; Until <= From = open-ended).
+type StragglerSpec struct {
+	Worker int     `json:"worker"`
+	Factor float64 `json:"factor"`
+	From   int     `json:"from,omitempty"`
+	Until  int     `json:"until,omitempty"`
+}
+
+// ContentionSpec is the wire form of cluster.Contention: every transfer is
+// Factor× slower during iterations [From, Until).
+type ContentionSpec struct {
+	Factor float64 `json:"factor"`
+	From   int     `json:"from,omitempty"`
+	Until  int     `json:"until,omitempty"`
+}
+
+// clusterKey is the comparable cluster-cache key derived from a resolved
+// spec. cluster.Config itself can no longer key the cache: with
+// heterogeneous overrides it carries a *timing.PlatformMap, which would
+// compare by pointer and split semantically identical requests across
+// slots. The key carries the cost model by content digest instead.
+type clusterKey struct {
+	model          string
+	mode           string
+	workers, ps    int
+	batchFactor    float64
+	iterations     int
+	sharedPSNIC    bool
+	platformDigest string
+}
+
+// resolved is a validated, normalized spec: the exact cluster build
+// configuration, its cache key, and every run knob the handlers consume.
+type resolved struct {
+	key    clusterKey
+	cfg    cluster.Config
+	mode   string
+	env    string
+	policy string
+	warmup int
+	seed   int64
+
+	// Simulate protocol, normalized (jitter -1 = platform default).
+	warmupIters  int
+	measureIters int
+	jitter       float64
+	reorderProb  float64
+	stragglers   []cluster.Straggler
+	contention   []cluster.Contention
+}
+
+// resolve validates the spec and normalizes it into a build configuration
+// plus run knobs — the single validation/digest path behind every endpoint.
+// All failures are coded client errors.
+func (spec WorkloadSpec) resolve() (resolved, error) {
+	var r resolved
+	ms, ok := model.ByName(spec.Model)
+	if !ok {
+		return r, codeErr(http.StatusBadRequest, CodeUnknownModel,
+			"unknown model %q (GET /v1/policies lists policies; see Table 1 for models)", spec.Model)
+	}
+	var mode model.Mode
+	switch strings.ToLower(spec.Mode) {
+	case "", "training", "train":
+		mode, r.mode = model.Training, "training"
+	case "inference", "infer":
+		mode, r.mode = model.Inference, "inference"
+	default:
+		return r, codeErr(http.StatusBadRequest, CodeUnknownMode, "unknown mode %q (training|inference)", spec.Mode)
+	}
+	var platform timing.Platform
+	switch strings.ToLower(spec.Env) {
+	case "", "envg":
+		platform, r.env = timing.EnvG(), "envG"
+	case "envc":
+		platform, r.env = timing.EnvC(), "envC"
+	default:
+		return r, codeErr(http.StatusBadRequest, CodeUnknownEnv, "unknown env %q (envG|envC)", spec.Env)
+	}
+	r.policy = strings.ToLower(strings.TrimSpace(spec.Policy))
+	if r.policy == "" {
+		r.policy = sched.TIC
+	}
+	if r.policy != sched.None {
+		if _, err := sched.New(r.policy, 0); err != nil {
+			return r, codeErr(http.StatusBadRequest, CodeUnknownPolicy, "%v", err)
+		}
+	}
+	workers, ps := spec.Workers, spec.PS
+	if workers == 0 {
+		workers = 1
+	}
+	if ps == 0 {
+		ps = 1
+	}
+	if workers < 1 || ps < 1 {
+		return r, badRequest("workers and ps must be >= 1 (got %d, %d)", spec.Workers, spec.PS)
+	}
+	if spec.BatchFactor < 0 {
+		return r, badRequest("batch_factor must be >= 0 (got %g)", spec.BatchFactor)
+	}
+	if spec.Iterations < 0 || spec.Iterations > 64 {
+		return r, badRequest("iterations must be in [0, 64] (got %d)", spec.Iterations)
+	}
+	if spec.Warmup < 0 || spec.Warmup > 100 {
+		return r, badRequest("warmup must be in [0, 100] (got %d)", spec.Warmup)
+	}
+	const maxDevices = 64
+	if workers > maxDevices || ps > maxDevices {
+		return r, badRequest("cluster too large: workers and ps are capped at %d each", maxDevices)
+	}
+
+	// Simulate protocol (validated on every endpoint, consumed by
+	// simulate/batch).
+	r.warmupIters, r.measureIters = spec.WarmupIterations, spec.MeasureIterations
+	if r.warmupIters <= 0 {
+		r.warmupIters = cluster.DefaultExperiment.Warmup
+	}
+	if r.measureIters <= 0 {
+		r.measureIters = cluster.DefaultExperiment.Measure
+	}
+	if r.measureIters > 1000 || r.warmupIters > 1000 {
+		return r, badRequest("iteration counts are capped at 1000")
+	}
+	if spec.ReorderProb < 0 || spec.ReorderProb > 1 {
+		return r, badRequest("reorder_prob must be in [0, 1]")
+	}
+	r.reorderProb = spec.ReorderProb
+	r.jitter = -1 // platform default
+	if spec.Jitter != nil {
+		if *spec.Jitter < 0 || *spec.Jitter > 1 {
+			return r, badRequest("jitter must be in [0, 1]")
+		}
+		r.jitter = *spec.Jitter
+	}
+	for i, st := range spec.Stragglers {
+		if st.Worker < 0 || st.Worker >= workers {
+			return r, badRequest("stragglers[%d].worker %d out of range [0, %d)", i, st.Worker, workers)
+		}
+		if st.Factor <= 0 {
+			return r, badRequest("stragglers[%d].factor must be > 0 (got %g)", i, st.Factor)
+		}
+		r.stragglers = append(r.stragglers, cluster.Straggler{Worker: st.Worker, Factor: st.Factor, From: st.From, Until: st.Until})
+	}
+	for i, cn := range spec.Contention {
+		if cn.Factor <= 0 {
+			return r, badRequest("contention[%d].factor must be > 0 (got %g)", i, cn.Factor)
+		}
+		r.contention = append(r.contention, cluster.Contention{Factor: cn.Factor, From: cn.From, Until: cn.Until})
+	}
+
+	// Cost model: bare platform, or a PlatformMap layered over it.
+	var platforms *timing.PlatformMap
+	platformDigest := core.PlatformDigest(platform)
+	if !spec.Overrides.empty() {
+		platforms = timing.NewPlatformMap(platform)
+		for dev, d := range spec.Overrides.Devices {
+			if d.SlowCompute < 0 || d.SlowNet < 0 {
+				return r, badRequest("device override %q: slow_compute and slow_net must be >= 0", dev)
+			}
+			platforms.SetDevice(dev, platform.SlowedCompute(d.SlowCompute).SlowedNet(d.SlowNet))
+		}
+		for res, cc := range spec.Overrides.Channels {
+			if cc.Bandwidth < 0 || cc.Latency < 0 {
+				return r, badRequest("channel override %q: bandwidth and latency must be >= 0", res)
+			}
+			platforms.SetChannel(res, timing.ChannelCost{Bandwidth: cc.Bandwidth, Latency: cc.Latency})
+		}
+		platformDigest = core.PlatformMapDigest(platforms)
+	}
+
+	r.cfg = cluster.Config{
+		Model:       ms,
+		Mode:        mode,
+		Workers:     workers,
+		PS:          ps,
+		BatchFactor: spec.BatchFactor,
+		Platform:    platform,
+		Platforms:   platforms,
+		Iterations:  spec.Iterations,
+		SharedPSNIC: spec.SharedPSNIC,
+	}
+	if platforms != nil {
+		// Surface override-key typos as client errors here, before any
+		// cache or build work runs on this spec's behalf.
+		if err := r.cfg.ValidateOverrides(); err != nil {
+			return r, badRequest("%v", err)
+		}
+	}
+	r.warmup = spec.Warmup
+	r.seed = spec.Seed
+	r.key = clusterKey{
+		model:          ms.Name,
+		mode:           r.mode,
+		workers:        workers,
+		ps:             ps,
+		batchFactor:    spec.BatchFactor,
+		iterations:     spec.Iterations,
+		sharedPSNIC:    spec.SharedPSNIC,
+		platformDigest: platformDigest,
+	}
+	return r, nil
+}
+
+// scenarioKey identifies everything about a resolved spec except the
+// scheduling policy (and its warmup knob): variants sharing a scenarioKey
+// ask "which policy wins under these exact conditions?" — the grouping the
+// batch summary ranks best policies within.
+func (r resolved) scenarioKey() string {
+	return fmt.Sprintf("%v|seed=%d|j=%g|rp=%g|wi=%d|mi=%d|st=%v|cn=%v",
+		r.key, r.seed, r.jitter, r.reorderProb, r.warmupIters, r.measureIters, r.stragglers, r.contention)
+}
+
+// runKey identifies a resolved spec completely; batch uses it to dedupe
+// identical variants onto one computation.
+func (r resolved) runKey() string {
+	return r.scenarioKey() + fmt.Sprintf("|pol=%s|wu=%d", r.policy, r.warmup)
+}

@@ -22,7 +22,7 @@
 //   - BuildCluster: Model-Replica + PS graphs and iteration protocol
 //     (internal/cluster)
 //   - NewService: the tictacd HTTP scheduling daemon — cached,
-//     request-coalescing schedule/simulate endpoints (internal/service)
+//     request-coalescing schedule/simulate/batch endpoints (internal/service)
 //
 // Quickstart:
 //
@@ -121,15 +121,40 @@ type (
 	Iteration = cluster.Iteration
 
 	// SchedulingService is the tictacd HTTP service: cached,
-	// request-coalescing schedule and simulation endpoints over this
-	// library (internal/service; see docs/service.md).
+	// request-coalescing schedule, simulation and batched what-if endpoints
+	// over this library (internal/service; see docs/service.md).
 	SchedulingService = service.Service
 	// ServiceOptions configures a SchedulingService.
 	ServiceOptions = service.Options
+	// ServiceWorkloadSpec is the unified workload envelope every POST
+	// endpoint resolves through (model, platform, policy, sim knobs).
+	ServiceWorkloadSpec = service.WorkloadSpec
 	// ServiceScheduleRequest is the body of POST /v1/schedule.
 	ServiceScheduleRequest = service.ScheduleRequest
 	// ServiceSimulateRequest is the body of POST /v1/simulate.
 	ServiceSimulateRequest = service.SimulateRequest
+	// ServiceBatchRequest is the body of POST /v1/batch: one base workload
+	// plus what-if variants expressed as deltas on it.
+	ServiceBatchRequest = service.BatchRequest
+	// ServiceBatchVariant is one what-if delta in a batch request.
+	ServiceBatchVariant = service.BatchVariant
+	// ServiceBatchResponse is the body of POST /v1/batch: per-variant
+	// results plus the ranked capacity-planning summary.
+	ServiceBatchResponse = service.BatchResponse
+	// ServicePlatformOverrides is the wire form of a heterogeneous cost
+	// model (per-device / per-channel overrides) in a WorkloadSpec.
+	ServicePlatformOverrides = service.PlatformOverrides
+	// ServiceDeviceOverride / ServiceChannelOverride are single override
+	// entries in a ServicePlatformOverrides.
+	ServiceDeviceOverride  = service.DeviceOverride
+	ServiceChannelOverride = service.ChannelOverride
+	// ServiceStragglerSpec / ServiceContentionSpec are the wire forms of
+	// transient straggler and contention windows.
+	ServiceStragglerSpec  = service.StragglerSpec
+	ServiceContentionSpec = service.ContentionSpec
+	// ServiceErrorResponse is the uniform error envelope
+	// {"error":{"code","message"}} every endpoint emits on failure.
+	ServiceErrorResponse = service.ErrorResponse
 	// ServiceLoadOptions configures the deterministic load generator.
 	ServiceLoadOptions = service.LoadOptions
 	// ServiceLoadReport summarizes one load-generator run.
