@@ -7,10 +7,10 @@ GO ?= go
 # publication-grade numbers.
 PERF_BENCHTIME ?= 50x
 
-# Coverage floor for `make cover` (percent). Seeded at 75 against a
-# measured 81.7% total; raise it as coverage grows, never lower it to make
+# Coverage floor for `make cover` (percent). Raised to 80.5 against a
+# measured 82.6% total; raise it as coverage grows, never lower it to make
 # a PR pass.
-COVER_FLOOR ?= 75.0
+COVER_FLOOR ?= 80.5
 
 # Pinned linter versions for `make lint` / the CI lint job. Bump
 # deliberately; a floating "latest" would let an upstream release break CI.
@@ -51,16 +51,16 @@ vet:
 doc:
 	@for p in $$($(GO) list ./...); do $(GO) doc $$p >/dev/null || exit 1; done
 
-# Perf trajectory: run the simulator-core, cluster-protocol and service
-# batch-throughput microbenchmarks and emit BENCH_sim.json (ns/op +
-# allocs/op per model, plus variants/sec for /v1/batch at pool width 1 vs
-# GOMAXPROCS). CI uploads the JSON as an artifact per commit; the committed
-# copy records the trajectory across PRs.
+# Perf trajectory: run the simulator-core, cluster-protocol, service
+# batch-throughput and cache-replay microbenchmarks and emit BENCH_sim.json
+# (ns/op + allocs/op per model, plus variants/sec for /v1/batch and
+# hits/req per eviction policy). CI uploads the JSON as an artifact per
+# commit; the committed copy records the trajectory across PRs.
 # Two steps, not a pipe: a bench compile error/panic/FAIL must fail the
 # target (sh has no pipefail), not be masked into an empty JSON array.
 perf:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimRun|BenchmarkClusterRun|BenchmarkBatchThroughput' -benchmem \
-		-benchtime $(PERF_BENCHTIME) ./internal/sim/ ./internal/cluster/ ./internal/service/ > BENCH_sim.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSimRun|BenchmarkClusterRun|BenchmarkBatchThroughput|BenchmarkCacheReplay' -benchmem \
+		-benchtime $(PERF_BENCHTIME) ./internal/sim/ ./internal/cluster/ ./internal/service/ ./internal/trace/ > BENCH_sim.txt
 	$(GO) run ./cmd/benchjson -o BENCH_sim.json < BENCH_sim.txt
 	@cat BENCH_sim.json
 

@@ -45,6 +45,15 @@ func TestParseLine(t *testing.T) {
 	if row.Extra["variants/sec"] != 11520 {
 		t.Fatalf("extra = %v, want variants/sec=11520", row.Extra)
 	}
+	// Cache-replay benchmarks report hit rate via ReportMetric; the
+	// policy name occupies the model slot of the benchmark path.
+	row, ok = parseLine("BenchmarkCacheReplay/lru-8  100  12345 ns/op  0.635 hits/req  512 B/op  3 allocs/op")
+	if !ok || row.Benchmark != "BenchmarkCacheReplay" || row.Model != "lru" {
+		t.Fatalf("cache replay line = %+v, ok=%v", row, ok)
+	}
+	if row.Extra["hits/req"] != 0.635 {
+		t.Fatalf("extra = %v, want hits/req=0.635", row.Extra)
+	}
 	for _, line := range []string{"PASS", "ok  \ttictac\t0.1s", "pkg: tictac", "", "Benchmark (no result)"} {
 		if _, ok := parseLine(line); ok {
 			t.Fatalf("non-result line parsed as benchmark: %q", line)

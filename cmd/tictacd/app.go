@@ -14,6 +14,7 @@ import (
 	"syscall"
 	"time"
 
+	"tictac/internal/cache"
 	"tictac/internal/service"
 )
 
@@ -21,6 +22,7 @@ import (
 type app struct {
 	addr          string
 	cacheCapacity int
+	cachePolicy   string
 	shards        int
 	latencyWindow int
 	maxBatch      int
@@ -36,6 +38,11 @@ type app struct {
 	batches     int
 	checkErrors bool
 	reportPath  string
+
+	tracePath      string
+	traceTimescale float64
+	traceSizes     string
+	tracePolicies  string
 }
 
 func parseFlags(args []string, stderr io.Writer) (*app, error) {
@@ -44,6 +51,7 @@ func parseFlags(args []string, stderr io.Writer) (*app, error) {
 	fs.SetOutput(stderr)
 	fs.StringVar(&a.addr, "addr", ":8080", "listen address for daemon mode")
 	fs.IntVar(&a.cacheCapacity, "cache-capacity", service.DefaultCacheCapacity, "resident entries per cache (clusters, schedules)")
+	fs.StringVar(&a.cachePolicy, "cache-policy", cache.LRU, "cache eviction policy ("+strings.Join(cache.Policies(), "|")+")")
 	fs.IntVar(&a.shards, "shards", service.DefaultShards, "cache shard count")
 	fs.IntVar(&a.latencyWindow, "latency-window", 0, "latency sample window for /metrics percentiles (0 = default)")
 	fs.IntVar(&a.maxBatch, "max-batch", service.DefaultMaxBatch, "max variants per /v1/batch request (above = 413 batch_too_large)")
@@ -58,8 +66,22 @@ func parseFlags(args []string, stderr io.Writer) (*app, error) {
 	fs.IntVar(&a.batches, "batches", 0, "loadtest: /v1/batch requests mixed into the load (0 = default 4, negative = none)")
 	fs.BoolVar(&a.checkErrors, "check-errors", true, "loadtest: run the error-injection probes asserting structured codes")
 	fs.StringVar(&a.reportPath, "report", "", "loadtest: also write the JSON report to this file")
+	fs.StringVar(&a.tracePath, "trace", "", "loadtest: replay this workload trace file instead of the synthetic mix (see docs/cache-policies.md)")
+	fs.Float64Var(&a.traceTimescale, "trace-timescale", 0, "trace replay: wall-clock seconds per trace second (0 = as fast as possible)")
+	fs.StringVar(&a.traceSizes, "trace-sizes", "", "trace replay: comma-separated schedule-cache capacities to sweep (empty = 4,16,64)")
+	fs.StringVar(&a.tracePolicies, "trace-policies", "", "trace replay: comma-separated eviction policies to sweep (empty = all registered)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if _, err := cache.NewPolicy(a.cachePolicy); err != nil {
+		fmt.Fprintf(stderr, "tictacd: %v\n", err)
+		return nil, err
+	}
+	for _, p := range splitList(a.tracePolicies) {
+		if _, err := cache.NewPolicy(p); err != nil {
+			fmt.Fprintf(stderr, "tictacd: %v\n", err)
+			return nil, err
+		}
 	}
 	return a, nil
 }
@@ -67,11 +89,25 @@ func parseFlags(args []string, stderr io.Writer) (*app, error) {
 func (a *app) options() service.Options {
 	return service.Options{
 		CacheCapacity: a.cacheCapacity,
+		CachePolicy:   a.cachePolicy,
 		Shards:        a.shards,
 		LatencyWindow: a.latencyWindow,
 		MaxBatch:      a.maxBatch,
 		BatchJobs:     a.batchJobs,
 	}
+}
+
+// splitInts parses a comma-separated list of positive integers.
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func splitList(s string) []string {
@@ -145,6 +181,9 @@ func (a *app) runDaemon(stdout, stderr io.Writer) int {
 // given, otherwise against an ephemeral in-process server — prints the JSON
 // report and fails (exit 1) if the service contract was violated.
 func (a *app) runLoadtest(stdout, stderr io.Writer) int {
+	if a.tracePath != "" {
+		return a.runReplay(stdout, stderr)
+	}
 	target := a.target
 	if target == "" {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -198,5 +237,48 @@ func (a *app) runLoadtest(stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "tictacd: PASS: %d requests, %d distinct configs, hit rate %.3f, p99 %.1fms\n",
 		report.Requests, report.DistinctConfigs, report.ServerCacheHitRate, report.Latency.P99*1000)
+	return 0
+}
+
+// runReplay replays a workload trace through the service (the eviction-
+// policy shootout grid when no -target is given), prints the JSON report
+// and fails if any curve violated the service contract or the offline
+// oracle failed to dominate.
+func (a *app) runReplay(stdout, stderr io.Writer) int {
+	sizes, err := splitInts(a.traceSizes)
+	if err != nil {
+		fmt.Fprintf(stderr, "tictacd: -trace-sizes: %v\n", err)
+		return 2
+	}
+	report, runErr := service.RunReplay(service.ReplayOptions{
+		TracePath:   a.tracePath,
+		Target:      a.target,
+		Policies:    splitList(a.tracePolicies),
+		CacheSizes:  sizes,
+		Timescale:   a.traceTimescale,
+		Concurrency: a.concurrency,
+	})
+	if runErr != nil {
+		fmt.Fprintf(stderr, "tictacd: trace replay: %v\n", runErr)
+		return 1
+	}
+	payload, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "tictacd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s\n", payload)
+	if a.reportPath != "" {
+		if err := os.WriteFile(a.reportPath, append(payload, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "tictacd: write report: %v\n", err)
+			return 1
+		}
+	}
+	if err := report.Err(); err != nil {
+		fmt.Fprintf(stderr, "tictacd: FAIL: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "tictacd: PASS: trace %q, %d events over %d keys, %d live curves, %d offline rows\n",
+		report.Trace, report.Events, report.DistinctKeys, len(report.Curves), len(report.Offline))
 	return 0
 }

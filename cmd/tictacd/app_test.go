@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"tictac/internal/service"
+	"tictac/internal/trace"
 )
 
 func TestLoadtestInProcess(t *testing.T) {
@@ -63,5 +64,69 @@ func TestHelpExitsZero(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "loadtest") {
 		t.Errorf("usage text missing: %s", stderr.String())
+	}
+}
+
+func TestBadCachePolicy(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-cache-policy", "astrology"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "astrology") {
+		t.Errorf("stderr missing policy error: %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"-loadtest", "-trace", "x.json", "-trace-policies", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestTraceReplayInProcess(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "t.trace.json")
+	w, err := trace.Generate(trace.GeneratorSpec{
+		Kind: trace.GenZipf, Seed: 3, Events: 40, Configs: 6, Models: []string{"AlexNet v2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteWorkloadFile(tracePath, w); err != nil {
+		t.Fatal(err)
+	}
+	report := filepath.Join(t.TempDir(), "replay.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-loadtest",
+		"-trace", tracePath,
+		"-trace-sizes", "3",
+		"-trace-policies", "lru",
+		"-report", report,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "PASS") {
+		t.Errorf("stderr missing PASS: %s", stderr.String())
+	}
+	payload, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r service.ReplayReport
+	if err := json.Unmarshal(payload, &r); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, payload)
+	}
+	if len(r.Curves) != 1 || r.Events != 40 {
+		t.Errorf("report = %+v", r)
+	}
+	// The offline section must include the oracle even though only lru was
+	// requested.
+	oracle := false
+	for _, row := range r.Offline {
+		if row.Policy == "belady" {
+			oracle = true
+		}
+	}
+	if !oracle {
+		t.Error("offline section missing the belady oracle")
 	}
 }

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"io"
+
+	"tictac/internal/bench/engine"
+	"tictac/internal/cache"
+	"tictac/internal/trace"
+)
+
+// CachePolicyResult is the "cachepolicy" experiment's output: the offline
+// eviction-policy shootout — every generated trace replayed through every
+// registered eviction policy at every cache size, with the primed Belady
+// oracle as the per-(trace, capacity) upper bound.
+type CachePolicyResult struct {
+	Rows []CachePolicyRow `json:"rows"`
+}
+
+// CachePolicyRow is one (trace, capacity, policy) replay, annotated with
+// the oracle's hit rate at the same point and this policy's fraction of it.
+type CachePolicyRow struct {
+	trace.ReplayRow
+	// OracleHitRate is the primed Belady hit rate on this (trace, capacity).
+	OracleHitRate float64 `json:"oracle_hit_rate"`
+	// OracleFrac is HitRate/OracleHitRate — how much of the offline optimum
+	// this online policy captures (1.0 for the oracle row itself).
+	OracleFrac float64 `json:"oracle_frac"`
+}
+
+// cachePolicyCapacities is the cache-size axis of the shootout grid.
+var cachePolicyCapacities = []int{4, 8, 16, 32}
+
+// CachePolicy runs the eviction-policy shootout: three synthetic workload
+// traces (Zipf steady state, diurnal load curve, flash crowd — seeded from
+// o.Seed, event counts scaled from o.Runs) replayed through every
+// registered eviction policy at each capacity in cachePolicyCapacities.
+// Replays fan out on the experiment engine; each point is an independent
+// pure function of (trace, policy, capacity), so the result is
+// bit-identical at any -jobs width.
+func CachePolicy(o Options) (*CachePolicyResult, error) {
+	o = o.withDefaults()
+
+	// Scale the trace length from Runs: Full (1000 runs) replays 2000-event
+	// traces, Quick (40) replays 80-event ones.
+	events := 2 * o.Runs
+	if events < 50 {
+		events = 50
+	}
+	specs := []trace.GeneratorSpec{
+		{Kind: trace.GenZipf, Seed: o.Seed, Events: events, Configs: 64},
+		{Kind: trace.GenDiurnal, Seed: o.Seed + 1, Events: events, Configs: 64},
+		{Kind: trace.GenFlash, Seed: o.Seed + 2, Events: events, Configs: 64},
+	}
+	traces := make([]*trace.Workload, len(specs))
+	for i, spec := range specs {
+		w, err := trace.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = w
+	}
+	policies := cache.Policies()
+
+	// Point list in presentation order: trace-major, then capacity, then
+	// policy — the index arithmetic below must match exactly.
+	type point struct {
+		w        *trace.Workload
+		policy   string
+		capacity int
+	}
+	var points []point
+	for _, w := range traces {
+		for _, capacity := range cachePolicyCapacities {
+			for _, p := range policies {
+				points = append(points, point{w: w, policy: p, capacity: capacity})
+			}
+		}
+	}
+	rows, err := engine.Map(o.jobs(), len(points), func(i int) (trace.ReplayRow, error) {
+		pt := points[i]
+		return trace.ReplayCache(pt.w, pt.policy, pt.capacity)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Annotate each row with its (trace, capacity) oracle.
+	res := &CachePolicyResult{Rows: make([]CachePolicyRow, len(rows))}
+	type gridKey struct {
+		trace    string
+		capacity int
+	}
+	oracle := make(map[gridKey]float64)
+	for _, r := range rows {
+		if r.Policy == cache.Belady {
+			oracle[gridKey{r.Trace, r.Capacity}] = r.HitRate
+		}
+	}
+	for i, r := range rows {
+		row := CachePolicyRow{ReplayRow: r, OracleHitRate: oracle[gridKey{r.Trace, r.Capacity}]}
+		if row.OracleHitRate > 0 {
+			row.OracleFrac = row.HitRate / row.OracleHitRate
+		}
+		res.Rows[i] = row
+	}
+	return res, nil
+}
+
+// WriteCachePolicy renders the shootout as one table per trace.
+func WriteCachePolicy(w io.Writer, res *CachePolicyResult) {
+	byTrace := map[string][]CachePolicyRow{}
+	var order []string
+	for _, r := range res.Rows {
+		if _, seen := byTrace[r.Trace]; !seen {
+			order = append(order, r.Trace)
+		}
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	for _, name := range order {
+		var rows [][]string
+		for _, r := range byTrace[name] {
+			rows = append(rows, []string{
+				r.Policy, itoa(r.Capacity), itoa(r.Events), itoa(r.DistinctKeys),
+				f3(r.HitRate), itoa(int(r.Evictions)), f3(r.OracleFrac),
+			})
+		}
+		RenderTable(w, "Cache-policy shootout: trace "+name,
+			[]string{"policy", "capacity", "events", "keys", "hit rate", "evictions", "of oracle"}, rows)
+	}
+}

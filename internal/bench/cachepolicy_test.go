@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tictac/internal/cache"
+)
+
+func TestCachePolicyShootout(t *testing.T) {
+	res, err := CachePolicy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 3 * len(cachePolicyCapacities) * len(cache.Policies())
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d (3 traces × %d capacities × %d policies)",
+			len(res.Rows), wantRows, len(cachePolicyCapacities), len(cache.Policies()))
+	}
+	for _, r := range res.Rows {
+		if r.OracleHitRate <= 0 {
+			t.Fatalf("%s/%s/cap=%d: missing oracle annotation: %+v", r.Trace, r.Policy, r.Capacity, r)
+		}
+		if r.HitRate > r.OracleHitRate {
+			t.Fatalf("%s/%s/cap=%d: hit rate %.3f beats the oracle %.3f",
+				r.Trace, r.Policy, r.Capacity, r.HitRate, r.OracleHitRate)
+		}
+		if r.Policy == cache.Belady && r.OracleFrac != 1 {
+			t.Fatalf("oracle row has oracle_frac %.3f, want 1", r.OracleFrac)
+		}
+	}
+	var buf bytes.Buffer
+	WriteCachePolicy(&buf, res)
+	for _, want := range []string{"trace zipf", "trace diurnal", "trace flash", "of oracle"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("rendering missing %q:\n%s", want, buf.String())
+		}
+	}
+}

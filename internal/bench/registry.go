@@ -119,6 +119,14 @@ func Experiments() []Experiment {
 			WriteShootout(w, res)
 			return res, nil
 		}},
+		{Name: "cachepolicy", Run: func(o Options, w io.Writer) (any, error) {
+			res, err := CachePolicy(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteCachePolicy(w, res)
+			return res, nil
+		}},
 		{Name: "hetero", Run: func(o Options, w io.Writer) (any, error) {
 			res, err := Hetero(o)
 			if err != nil {

@@ -1,19 +1,21 @@
-// Package cache provides a sharded, request-coalescing LRU cache for
-// expensive deterministic builds.
+// Package cache provides a sharded, request-coalescing cache with pluggable
+// eviction policies for expensive deterministic builds.
 //
 // It generalizes the memoization pattern the bench harness grew in
 // internal/bench/cache.go — map + sync.Once per key — into a reusable layer
 // with bounded capacity and observable statistics, so both the experiment
 // engine and the tictacd scheduling service share one implementation.
 //
-// The contract mirrors singleflight fused with an LRU:
+// The contract mirrors singleflight fused with a bounded cache:
 //
 //   - Do(key, build) returns the cached value for key, building it at most
 //     once per residency: concurrent callers for the same missing key
 //     coalesce onto one build and all receive its result.
-//   - Values are retained in per-shard LRU order up to the configured
-//     capacity; eviction only touches completed entries (an in-flight build
-//     is never evicted from under its waiters).
+//   - Values are retained per shard up to the configured budgets; which
+//     resident entry goes first is decided by the shard's EvictionPolicy
+//     (default: LRU — see policy.go for the registry mirroring
+//     internal/sched). Eviction only touches completed entries: an
+//     in-flight build is never evicted from under its waiters.
 //   - Errors are returned to every coalesced waiter but never cached: the
 //     next Do for the key builds again.
 //
@@ -25,6 +27,7 @@ package cache
 
 import (
 	"errors"
+	"fmt"
 	"hash/maphash"
 	"sync"
 	"sync/atomic"
@@ -71,7 +74,7 @@ type Stats struct {
 	// Coalesced counts Do calls that waited on another caller's in-flight
 	// build instead of starting their own.
 	Coalesced uint64
-	// Evictions counts resident values discarded by the LRU bound.
+	// Evictions counts resident values discarded by the capacity bounds.
 	Evictions uint64
 	// Errors counts builds that returned an error (never cached).
 	Errors uint64
@@ -90,13 +93,46 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits+s.Coalesced) / float64(n)
 }
 
-// Cache is a sharded LRU with request coalescing. The zero value is not
-// usable; call New.
+// Config parameterizes NewWith. The zero value of every field selects the
+// documented default, so Config{} is a valid single-shard unbounded LRU.
+type Config[K comparable, V any] struct {
+	// Shards is the shard count (< 1 is raised to 1).
+	Shards int
+	// Capacity bounds resident entries across all shards; <= 0 means
+	// unbounded. It is split evenly across shards, rounding up, so a
+	// bounded cache never rounds a shard down to zero retention.
+	Capacity int
+	// CostCapacity bounds the total Cost of resident entries across all
+	// shards (same rounding); <= 0 means unbounded. A single entry whose
+	// cost exceeds the per-shard budget is served but not retained.
+	CostCapacity int64
+	// Policy names the registered eviction policy ("" selects LRU).
+	Policy string
+	// NewPolicy, when non-nil, overrides Policy with a caller-constructed
+	// instance per shard — the hook primed oracles (NewBelady) come in
+	// through. Callers priming a policy with a global access sequence
+	// should use Shards: 1 so one instance observes every access.
+	NewPolicy PolicyFactory
+	// Cost assigns each entry the cost its policy sees and CostCapacity
+	// accounts; nil charges 1 per entry (so Capacity counts entries).
+	Cost func(K, V) int64
+	// KeyID renders a key as the stable identity string oracle policies
+	// match against their primed trace; nil uses fmt.Sprint. It runs only
+	// on the miss path, after the build.
+	KeyID func(K) string
+}
+
+// Cache is a sharded, policy-driven cache with request coalescing. The zero
+// value is not usable; call New or NewWith.
 type Cache[K comparable, V any] struct {
 	shards []shard[K, V]
 	seed   maphash.Seed
-	// capacity is the per-shard resident-entry bound; <= 0 means unbounded.
-	capacity int
+	// capacity / costCapacity are the per-shard budgets; <= 0 = unbounded.
+	capacity     int
+	costCapacity int64
+	policyName   string
+	cost         func(K, V) int64
+	keyID        func(K) string
 
 	hits, misses, coalesced, evictions, errors atomic.Uint64
 }
@@ -104,46 +140,100 @@ type Cache[K comparable, V any] struct {
 type shard[K comparable, V any] struct {
 	mu      sync.Mutex
 	entries map[K]*entry[K, V]
-	// head/tail is the LRU list of resident (completed, error-free)
-	// entries; head is most recently used.
-	head, tail *entry[K, V]
+	// byHandle maps the opaque handles the eviction policy speaks back to
+	// resident entries; nextHandle is never reused.
+	byHandle   map[Handle]*entry[K, V]
+	nextHandle Handle
+	policy     EvictionPolicy
 	resident   int
+	// residentCost is the Cost sum of resident entries; evictions counts
+	// this shard's evictions (both guarded by mu).
+	residentCost int64
+	evictions    uint64
 }
 
 type entry[K comparable, V any] struct {
-	key K
+	key    K
+	handle Handle
+	cost   int64
 	// done is closed when the build completes; val/err are immutable after.
 	done chan struct{}
 	val  V
 	err  error
 	// complete is guarded by the shard mutex (waiters outside the lock use
 	// the done channel instead).
-	complete   bool
-	prev, next *entry[K, V]
+	complete bool
 }
 
-// New returns a cache with the given shard count and total capacity
-// (resident entries across all shards; <= 0 means unbounded). Shard counts
-// < 1 are raised to 1; capacity is split evenly across shards, rounding up,
-// so a bounded cache never rounds a shard down to zero retention.
+// New returns an LRU cache with the given shard count and total capacity
+// (resident entries across all shards; <= 0 means unbounded) — the
+// pre-registry constructor, behavior-identical to the original LRU-only
+// implementation.
 func New[K comparable, V any](shards, capacity int) *Cache[K, V] {
-	if shards < 1 {
-		shards = 1
-	}
-	perShard := 0
-	if capacity > 0 {
-		perShard = (capacity + shards - 1) / shards
-	}
-	c := &Cache[K, V]{
-		shards:   make([]shard[K, V], shards),
-		seed:     maphash.MakeSeed(),
-		capacity: perShard,
-	}
-	for i := range c.shards {
-		c.shards[i].entries = make(map[K]*entry[K, V])
+	c, err := NewWith(Config[K, V]{Shards: shards, Capacity: capacity})
+	if err != nil {
+		panic(err) // unreachable: the default policy is always registered
 	}
 	return c
 }
+
+// NewWith returns a cache configured by cfg. It errors on an unknown
+// eviction policy name, listing the registry.
+func NewWith[K comparable, V any](cfg Config[K, V]) (*Cache[K, V], error) {
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	factory := cfg.NewPolicy
+	name := cfg.Policy
+	if factory == nil {
+		if name == "" {
+			name = LRU
+		}
+		if _, err := NewPolicy(name); err != nil {
+			return nil, err
+		}
+		factory = func() EvictionPolicy { p, _ := NewPolicy(name); return p }
+	}
+	perShard := 0
+	if cfg.Capacity > 0 {
+		perShard = (cfg.Capacity + shards - 1) / shards
+	}
+	var perShardCost int64
+	if cfg.CostCapacity > 0 {
+		perShardCost = (cfg.CostCapacity + int64(shards) - 1) / int64(shards)
+	}
+	cost := cfg.Cost
+	if cost == nil {
+		cost = func(K, V) int64 { return 1 }
+	}
+	keyID := cfg.KeyID
+	if keyID == nil {
+		keyID = func(k K) string { return fmt.Sprint(k) }
+	}
+	c := &Cache[K, V]{
+		shards:       make([]shard[K, V], shards),
+		seed:         maphash.MakeSeed(),
+		capacity:     perShard,
+		costCapacity: perShardCost,
+		cost:         cost,
+		keyID:        keyID,
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.entries = make(map[K]*entry[K, V])
+		s.byHandle = make(map[Handle]*entry[K, V])
+		s.policy = factory()
+		if s.policy == nil {
+			return nil, errors.New("cache: policy factory returned nil")
+		}
+	}
+	c.policyName = c.shards[0].policy.Name()
+	return c, nil
+}
+
+// Policy returns the eviction policy name this cache runs.
+func (c *Cache[K, V]) Policy() string { return c.policyName }
 
 // Do returns the value for key, building it with build on a miss.
 // Concurrent calls for the same missing key run build exactly once and all
@@ -154,7 +244,7 @@ func (c *Cache[K, V]) Do(key K, build func() (V, error)) (V, Outcome, error) {
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
 		if e.complete {
-			s.moveToFront(e)
+			s.policy.Touch(e.handle)
 			s.mu.Unlock()
 			c.hits.Add(1)
 			return e.val, Hit, nil
@@ -191,11 +281,7 @@ func (c *Cache[K, V]) Do(key K, build func() (V, error)) (V, Outcome, error) {
 			delete(s.entries, key)
 			c.errors.Add(1)
 		} else {
-			s.pushFront(e)
-			s.resident++
-			for c.capacity > 0 && s.resident > c.capacity {
-				c.evict(s)
-			}
+			c.admit(s, e)
 		}
 		s.mu.Unlock()
 		close(e.done)
@@ -205,6 +291,26 @@ func (c *Cache[K, V]) Do(key K, build func() (V, error)) (V, Outcome, error) {
 	return val, Miss, err
 }
 
+// admit hands a freshly completed entry to the shard's eviction policy and
+// restores the capacity invariants. Caller holds s.mu. Note the admitted
+// entry itself is a legal victim: a single entry costlier than the shard's
+// whole cost budget is served to its waiters but not retained.
+func (c *Cache[K, V]) admit(s *shard[K, V], e *entry[K, V]) {
+	e.handle = s.nextHandle
+	s.nextHandle++
+	e.cost = c.cost(e.key, e.val)
+	s.byHandle[e.handle] = e
+	s.policy.Admit(e.handle, c.keyID(e.key), e.cost)
+	s.resident++
+	s.residentCost += e.cost
+	for (c.capacity > 0 && s.resident > c.capacity) ||
+		(c.costCapacity > 0 && s.residentCost > c.costCapacity) {
+		if !c.evict(s) {
+			return
+		}
+	}
+}
+
 // Get returns the resident value for key without building. It never
 // coalesces: an in-flight build is reported as absent.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
@@ -212,7 +318,7 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.entries[key]; ok && e.complete {
-		s.moveToFront(e)
+		s.policy.Touch(e.handle)
 		return e.val, true
 	}
 	var zero V
@@ -231,6 +337,18 @@ func (c *Cache[K, V]) Len() int {
 	return n
 }
 
+// CostLen returns the total Cost of resident values.
+func (c *Cache[K, V]) CostLen() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.residentCost
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // Stats returns a snapshot of the cumulative counters.
 func (c *Cache[K, V]) Stats() Stats {
 	return Stats{
@@ -242,49 +360,41 @@ func (c *Cache[K, V]) Stats() Stats {
 	}
 }
 
-// evict drops the least recently used resident entry of s. Caller holds
-// s.mu; in-flight entries are not on the LRU list and cannot be chosen.
-func (c *Cache[K, V]) evict(s *shard[K, V]) {
-	lru := s.tail
-	if lru == nil {
-		return
+// ShardEvictions returns the per-shard eviction counts (index = shard).
+// Their sum equals Stats().Evictions; /metrics surfaces both so a skewed
+// shard (hot-key pile-up under a small capacity) is observable.
+func (c *Cache[K, V]) ShardEvictions() []uint64 {
+	out := make([]uint64, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = s.evictions
+		s.mu.Unlock()
 	}
-	s.unlink(lru)
-	delete(s.entries, lru.key)
+	return out
+}
+
+// evict removes the policy's chosen victim from s, reporting whether an
+// eviction happened. Caller holds s.mu; in-flight entries were never
+// admitted to the policy and cannot be chosen.
+func (c *Cache[K, V]) evict(s *shard[K, V]) bool {
+	h, ok := s.policy.Victim()
+	if !ok {
+		return false
+	}
+	e, ok := s.byHandle[h]
+	if !ok {
+		// A policy returning an unknown handle is a contract violation;
+		// withdraw it so the eviction loop cannot spin on it forever.
+		s.policy.Remove(h)
+		return false
+	}
+	s.policy.Remove(h)
+	delete(s.byHandle, h)
+	delete(s.entries, e.key)
 	s.resident--
+	s.residentCost -= e.cost
+	s.evictions++
 	c.evictions.Add(1)
-}
-
-func (s *shard[K, V]) pushFront(e *entry[K, V]) {
-	e.prev = nil
-	e.next = s.head
-	if s.head != nil {
-		s.head.prev = e
-	}
-	s.head = e
-	if s.tail == nil {
-		s.tail = e
-	}
-}
-
-func (s *shard[K, V]) unlink(e *entry[K, V]) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		s.head = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		s.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-}
-
-func (s *shard[K, V]) moveToFront(e *entry[K, V]) {
-	if s.head == e {
-		return
-	}
-	s.unlink(e)
-	s.pushFront(e)
+	return true
 }

@@ -268,6 +268,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 
 // CacheCounters mirrors cache.Stats for /metrics, with derived fields.
 type CacheCounters struct {
+	Policy    string  `json:"policy"`
 	Hits      uint64  `json:"hits"`
 	Misses    uint64  `json:"misses"`
 	Coalesced uint64  `json:"coalesced"`
@@ -275,17 +276,23 @@ type CacheCounters struct {
 	Errors    uint64  `json:"errors"`
 	Resident  int     `json:"resident"`
 	HitRate   float64 `json:"hit_rate"`
+	// EvictionsPerShard breaks Evictions down by cache shard; its entries
+	// always sum to Evictions.
+	EvictionsPerShard []uint64 `json:"evictions_per_shard"`
 }
 
-func counters(st cache.Stats, resident int) CacheCounters {
+func counters[K comparable, V any](c *cache.Cache[K, V]) CacheCounters {
+	st := c.Stats()
 	return CacheCounters{
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Coalesced: st.Coalesced,
-		Evictions: st.Evictions,
-		Errors:    st.Errors,
-		Resident:  resident,
-		HitRate:   st.HitRate(),
+		Policy:            c.Policy(),
+		Hits:              st.Hits,
+		Misses:            st.Misses,
+		Coalesced:         st.Coalesced,
+		Evictions:         st.Evictions,
+		Errors:            st.Errors,
+		Resident:          c.Len(),
+		HitRate:           st.HitRate(),
+		EvictionsPerShard: c.ShardEvictions(),
 	}
 }
 
@@ -326,8 +333,8 @@ func (s *Service) Metrics() MetricsResponse {
 			LatencySeconds: m.lat.Snapshot(),
 		}
 	}
-	resp.Cache.Clusters = counters(s.clusters.Stats(), s.clusters.Len())
-	resp.Cache.Schedules = counters(s.schedules.Stats(), s.schedules.Len())
+	resp.Cache.Clusters = counters(s.clusters)
+	resp.Cache.Schedules = counters(s.schedules)
 	resp.Builds.Clusters = s.clusterBuilds.Load()
 	resp.Builds.DerivedClusters = s.derivedClusters.Load()
 	resp.Builds.Schedules = s.scheduleBuilds.Load()

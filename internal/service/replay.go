@@ -1,0 +1,344 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tictac/internal/cache"
+	"tictac/internal/cluster"
+	"tictac/internal/core"
+	"tictac/internal/stats"
+	"tictac/internal/trace"
+)
+
+// ReplayOptions configures RunReplay, the trace-replay harness behind
+// `tictacd -loadtest -trace`.
+type ReplayOptions struct {
+	// Trace is the workload to replay. Exactly one of Trace and TracePath
+	// must be set.
+	Trace *trace.Workload
+	// TracePath reads the workload from a trace file (see
+	// trace.ReadWorkloadFile).
+	TracePath string
+	// Target is the base URL of a running tictacd. When empty, RunReplay
+	// self-hosts an in-process server per (policy, cache size) point —
+	// the full shootout grid. When set, the remote server's policy and
+	// capacity are fixed, so exactly one live curve is measured (against
+	// whatever the server was started with); the offline section still
+	// covers the full grid.
+	Target string
+	// Policies are the eviction policies to sweep (default:
+	// cache.Policies(); the offline section always includes the oracle).
+	Policies []string
+	// CacheSizes are the schedule-cache capacities to sweep, in resident
+	// entries (default 4, 16, 64).
+	CacheSizes []int
+	// Timescale maps trace time to wall-clock for the open-loop dispatch:
+	// an event at trace time T is released at T×Timescale seconds. 0
+	// disables pacing — events are released as fast as workers accept them.
+	Timescale float64
+	// Concurrency is the open-loop worker count (default 16).
+	Concurrency int
+	// Client overrides the HTTP client (default: 30s timeout).
+	Client *http.Client
+}
+
+// ReplayCurve is one live measurement: the trace replayed through a real
+// tictacd at one (eviction policy, schedule-cache capacity) point.
+type ReplayCurve struct {
+	Policy   string `json:"policy"`
+	Capacity int    `json:"capacity"`
+
+	Requests        int `json:"requests"`
+	Failures        int `json:"failures"`
+	Mismatches      int `json:"mismatches"`
+	CachedResponses int `json:"cached_responses"`
+
+	// Server-side schedule-cache deltas over the run, from /metrics.
+	ServerHits      uint64  `json:"server_hits"`
+	ServerMisses    uint64  `json:"server_misses"`
+	ServerEvictions uint64  `json:"server_evictions"`
+	ServerHitRate   float64 `json:"server_hit_rate"`
+
+	DurationSeconds float64              `json:"duration_seconds"`
+	Latency         stats.LatencySummary `json:"latency_seconds"`
+}
+
+// ReplayReport is RunLoad's trace-replay sibling: hit-rate/latency curves
+// per eviction policy × cache size, measured live, plus the offline pure-
+// cache replay of the same trace (where the primed Belady oracle is
+// feasible and must dominate).
+type ReplayReport struct {
+	Trace        string  `json:"trace"`
+	Target       string  `json:"target"`
+	Events       int     `json:"events"`
+	DistinctKeys int     `json:"distinct_keys"`
+	Timescale    float64 `json:"timescale"`
+
+	// Curves are the live measurements, one per (policy, capacity).
+	Curves []ReplayCurve `json:"curves"`
+	// Offline replays the same trace through bare caches (single shard,
+	// sequential), including the offline-optimal oracle — the section the
+	// CI smoke asserts "belady >= lru" on.
+	Offline []trace.ReplayRow `json:"offline"`
+}
+
+// Err returns nil when the replay upheld the contract: every request
+// succeeded and byte-matched the direct library computation, repeats hit
+// the cache, and the offline oracle's hit count is an upper bound on every
+// online policy at every capacity.
+func (r *ReplayReport) Err() error {
+	for _, c := range r.Curves {
+		if c.Failures > 0 {
+			return fmt.Errorf("replay: %s/cap=%d: %d/%d requests failed", c.Policy, c.Capacity, c.Failures, c.Requests)
+		}
+		if c.Mismatches > 0 {
+			return fmt.Errorf("replay: %s/cap=%d: %d responses diverged from direct library computation", c.Policy, c.Capacity, c.Mismatches)
+		}
+		if r.Events > r.DistinctKeys && c.ServerHits == 0 {
+			return fmt.Errorf("replay: %s/cap=%d: no server cache hits across %d requests over %d keys", c.Policy, c.Capacity, r.Events, r.DistinctKeys)
+		}
+	}
+	oracle := make(map[int]uint64)
+	for _, row := range r.Offline {
+		if row.Policy == cache.Belady {
+			oracle[row.Capacity] = row.Hits
+		}
+	}
+	for _, row := range r.Offline {
+		if row.Policy == cache.Belady {
+			continue
+		}
+		best, ok := oracle[row.Capacity]
+		if !ok {
+			return fmt.Errorf("replay: offline section has no oracle row for capacity %d", row.Capacity)
+		}
+		if row.Hits > best {
+			return fmt.Errorf("replay: offline %s hit %d > oracle %d at capacity %d — Belady is not optimal",
+				row.Policy, row.Hits, best, row.Capacity)
+		}
+	}
+	return nil
+}
+
+func (o ReplayOptions) withDefaults() (ReplayOptions, error) {
+	if (o.Trace == nil) == (o.TracePath == "") {
+		return o, fmt.Errorf("replay: set exactly one of Trace and TracePath")
+	}
+	if o.TracePath != "" {
+		w, err := trace.ReadWorkloadFile(o.TracePath)
+		if err != nil {
+			return o, err
+		}
+		o.Trace = w
+	}
+	if err := o.Trace.Validate(); err != nil {
+		return o, err
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = cache.Policies()
+	}
+	for _, p := range o.Policies {
+		if _, err := cache.NewPolicy(p); err != nil {
+			return o, err
+		}
+	}
+	if len(o.CacheSizes) == 0 {
+		o.CacheSizes = []int{4, 16, 64}
+	}
+	for _, n := range o.CacheSizes {
+		if n <= 0 {
+			return o, fmt.Errorf("replay: cache sizes must be > 0 (got %d)", n)
+		}
+	}
+	if o.Timescale < 0 {
+		return o, fmt.Errorf("replay: timescale must be >= 0 (got %g)", o.Timescale)
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 16
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return o, nil
+}
+
+// RunReplay replays a workload trace against tictacd and reports hit-rate
+// and latency curves per trace × cache size × eviction policy, plus the
+// offline pure-cache shootout on the same trace.
+//
+// Every response is byte-verified against the direct library computation
+// (the same bar RunLoad sets), so the replay doubles as a correctness
+// harness: an eviction policy that corrupted an entry or evicted an
+// in-flight build would surface as a mismatch, not a latency blip.
+func RunReplay(opts ReplayOptions) (*ReplayReport, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	w := opts.Trace
+
+	report := &ReplayReport{
+		Trace:        w.Name,
+		Target:       opts.Target,
+		Events:       len(w.Events),
+		DistinctKeys: w.DistinctKeys(),
+		Timescale:    opts.Timescale,
+	}
+
+	// Direct-library reference payloads, one per distinct key — shared by
+	// every curve.
+	expected := make(map[string][]byte)
+	requests := make(map[string]ScheduleRequest)
+	for _, e := range w.Events {
+		k := e.Key()
+		if _, ok := expected[k]; ok {
+			continue
+		}
+		req := ScheduleRequest{WorkloadSpec: WorkloadSpec{
+			Model: e.Model, Policy: e.Policy, Workers: e.Workers, PS: e.PS, Seed: e.Seed,
+		}}
+		res, err := req.resolve()
+		if err != nil {
+			return nil, fmt.Errorf("replay: trace event %q: %w", k, err)
+		}
+		c, err := cluster.Build(res.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("replay: direct build: %w", err)
+		}
+		entry, err := computeScheduleResult(&clusterEntry{
+			c:              c,
+			graphDigest:    core.GraphDigest(c.Graph),
+			platformDigest: res.key.platformDigest,
+		}, res)
+		if err != nil {
+			return nil, fmt.Errorf("replay: direct schedule: %w", err)
+		}
+		expected[k] = entry.payload
+		requests[k] = req
+	}
+
+	// Live curves.
+	if opts.Target != "" {
+		curve, err := replayOnce(opts, w, opts.Target, requests, expected)
+		if err != nil {
+			return nil, err
+		}
+		report.Curves = append(report.Curves, *curve)
+	} else {
+		for _, policy := range opts.Policies {
+			for _, capacity := range opts.CacheSizes {
+				svc := New(Options{CacheCapacity: capacity, CachePolicy: policy})
+				server := httptest.NewServer(svc.Handler())
+				curve, err := replayOnce(opts, w, server.URL, requests, expected)
+				server.Close()
+				if err != nil {
+					return nil, err
+				}
+				curve.Policy, curve.Capacity = policy, capacity
+				report.Curves = append(report.Curves, *curve)
+			}
+		}
+	}
+
+	// Offline shootout: same trace, bare caches, oracle included.
+	policies := opts.Policies
+	if !contains(policies, cache.Belady) {
+		policies = append(append([]string(nil), policies...), cache.Belady)
+	}
+	for _, capacity := range opts.CacheSizes {
+		for _, policy := range policies {
+			row, err := trace.ReplayCache(w, policy, capacity)
+			if err != nil {
+				return nil, err
+			}
+			report.Offline = append(report.Offline, row)
+		}
+	}
+	return report, nil
+}
+
+// replayOnce dispatches the trace open-loop against one server and
+// measures one curve. The curve's Policy/Capacity are filled by the caller
+// for self-hosted runs; for a remote target they are read from /metrics.
+func replayOnce(opts ReplayOptions, w *trace.Workload, target string, requests map[string]ScheduleRequest, expected map[string][]byte) (*ReplayCurve, error) {
+	before, err := fetchMetrics(opts.Client, target)
+	if err != nil {
+		return nil, fmt.Errorf("replay: fetch metrics: %w", err)
+	}
+
+	curve := &ReplayCurve{Requests: len(w.Events)}
+	var failures, mismatches, cached atomic.Int64
+	lat := stats.NewLatencyRecorder(len(w.Events))
+
+	// Open-loop dispatch: the feeder releases events on the trace's clock
+	// (scaled by Timescale) regardless of completions; workers drain a
+	// buffered queue so a slow request delays its successors only once the
+	// buffer and worker pool are saturated.
+	events := make(chan trace.Event, len(w.Events))
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := range events {
+				k := e.Key()
+				t0 := time.Now()
+				gotCached, err := postSchedule(opts.Client, target, requests[k], expected[k])
+				lat.Observe(time.Since(t0).Seconds())
+				switch {
+				case errors.Is(err, errMismatch):
+					mismatches.Add(1)
+				case err != nil:
+					failures.Add(1)
+				case gotCached:
+					cached.Add(1)
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	for _, e := range w.Events {
+		if opts.Timescale > 0 {
+			if wait := time.Duration(e.T*opts.Timescale*float64(time.Second)) - time.Since(start); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		events <- e
+	}
+	close(events)
+	wg.Wait()
+	curve.DurationSeconds = time.Since(start).Seconds()
+	curve.Failures = int(failures.Load())
+	curve.Mismatches = int(mismatches.Load())
+	curve.CachedResponses = int(cached.Load())
+	curve.Latency = lat.Snapshot()
+
+	after, err := fetchMetrics(opts.Client, target)
+	if err != nil {
+		return nil, fmt.Errorf("replay: fetch metrics: %w", err)
+	}
+	sb, sa := before.Cache.Schedules, after.Cache.Schedules
+	curve.Policy = sa.Policy
+	curve.ServerHits = sa.Hits - sb.Hits
+	curve.ServerMisses = sa.Misses - sb.Misses
+	curve.ServerEvictions = sa.Evictions - sb.Evictions
+	if lookups := curve.ServerHits + curve.ServerMisses + (sa.Coalesced - sb.Coalesced); lookups > 0 {
+		curve.ServerHitRate = float64(curve.ServerHits) / float64(lookups)
+	}
+	return curve, nil
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"tictac/internal/cache"
+	"tictac/internal/trace"
+)
+
+func testTrace(t *testing.T) *trace.Workload {
+	t.Helper()
+	w, err := trace.Generate(trace.GeneratorSpec{
+		Kind:    trace.GenZipf,
+		Seed:    7,
+		Events:  60,
+		Configs: 8,
+		Models:  []string{"AlexNet v2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestRunReplayInProcess drives the full replay harness — self-hosted
+// server grid, byte-verified responses, offline shootout — on a small
+// fixed-seed trace.
+func TestRunReplayInProcess(t *testing.T) {
+	w := testTrace(t)
+	report, err := RunReplay(ReplayOptions{
+		Trace:      w,
+		Policies:   []string{cache.LRU, cache.LFU},
+		CacheSizes: []int{2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Err(); err != nil {
+		t.Fatalf("replay contract violated: %v", err)
+	}
+	if len(report.Curves) != 4 {
+		t.Fatalf("curves = %d, want 2 policies × 2 sizes = 4", len(report.Curves))
+	}
+	for _, c := range report.Curves {
+		if c.Requests != len(w.Events) {
+			t.Fatalf("curve %s/cap=%d replayed %d events, want %d", c.Policy, c.Capacity, c.Requests, len(w.Events))
+		}
+		if c.ServerHits == 0 || c.ServerEvictions == 0 {
+			t.Fatalf("curve %s/cap=%d looks vacuous: %+v", c.Policy, c.Capacity, c)
+		}
+	}
+	// The offline section must cover the grid plus the oracle at each size.
+	if len(report.Offline) != 2*3 {
+		t.Fatalf("offline rows = %d, want 2 sizes × (2 policies + belady) = 6", len(report.Offline))
+	}
+	seenOracle := false
+	for _, row := range report.Offline {
+		if row.Policy == cache.Belady {
+			seenOracle = true
+		}
+	}
+	if !seenOracle {
+		t.Fatal("offline section has no oracle rows")
+	}
+}
+
+// TestRunReplayAgainstFixedTarget measures one curve against an existing
+// server instead of sweeping the grid.
+func TestRunReplayAgainstFixedTarget(t *testing.T) {
+	_, ts := newTestServer(t, Options{CacheCapacity: 4, CachePolicy: cache.LFU})
+	report, err := RunReplay(ReplayOptions{
+		Trace:      testTrace(t),
+		Target:     ts.URL,
+		CacheSizes: []int{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Curves) != 1 {
+		t.Fatalf("curves = %d, want exactly 1 for a fixed target", len(report.Curves))
+	}
+	if got := report.Curves[0].Policy; got != cache.LFU {
+		t.Fatalf("curve policy = %q (from /metrics), want %q", got, cache.LFU)
+	}
+}
+
+func TestRunReplayOptionValidation(t *testing.T) {
+	w := testTrace(t)
+	cases := map[string]ReplayOptions{
+		"no trace":      {},
+		"both traces":   {Trace: w, TracePath: "x.json"},
+		"bad policy":    {Trace: w, Policies: []string{"astrology"}},
+		"bad size":      {Trace: w, CacheSizes: []int{0}},
+		"bad timescale": {Trace: w, Timescale: -1},
+		"missing file":  {TracePath: "/nonexistent/trace.json"},
+	}
+	for name, opts := range cases {
+		if _, err := RunReplay(opts); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestNewPanicsOnUnknownCachePolicy pins the documented New contract:
+// options are resolved by callers first, so an unknown policy is a panic,
+// not a silent default.
+func TestNewPanicsOnUnknownCachePolicy(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New accepted an unknown cache policy")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "astrology") {
+			t.Fatalf("panic = %v, want the policy name in the message", r)
+		}
+	}()
+	New(Options{CachePolicy: "astrology"})
+}

@@ -53,6 +53,12 @@ type Options struct {
 	// CacheCapacity bounds each cache's resident entries (clusters and
 	// schedules independently). <= 0 selects DefaultCacheCapacity.
 	CacheCapacity int
+	// CachePolicy is the eviction policy name for both caches — any name in
+	// cache.Policies() (default cache.LRU). Validate unknown names with
+	// cache.NewPolicy before calling New: New panics on them, because its
+	// no-error signature predates pluggable policies and every caller
+	// already resolves options up front.
+	CachePolicy string
 	// Shards is the cache shard count. <= 0 selects DefaultShards.
 	Shards int
 	// LatencyWindow is the per-endpoint latency sample window for /metrics
@@ -141,11 +147,33 @@ func New(opts Options) *Service {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = DefaultMaxBatch
 	}
+	if opts.CachePolicy == "" {
+		opts.CachePolicy = cache.LRU
+	}
+	clusters, err := cache.NewWith(cache.Config[clusterKey, *clusterEntry]{
+		Shards:   opts.Shards,
+		Capacity: opts.CacheCapacity,
+		Policy:   opts.CachePolicy,
+	})
+	if err != nil {
+		panic("service: " + err.Error())
+	}
+	schedules, err := cache.NewWith(cache.Config[scheduleKey, *scheduleEntry]{
+		Shards:   opts.Shards,
+		Capacity: opts.CacheCapacity,
+		Policy:   opts.CachePolicy,
+		// The policy-visible cost of a schedule entry is its canonical
+		// response payload size — what a size-aware policy ranks victims by.
+		Cost: func(_ scheduleKey, e *scheduleEntry) int64 { return int64(len(e.payload)) },
+	})
+	if err != nil {
+		panic("service: " + err.Error())
+	}
 	s := &Service{
 		opts:      opts,
 		start:     time.Now(),
-		clusters:  cache.New[clusterKey, *clusterEntry](opts.Shards, opts.CacheCapacity),
-		schedules: cache.New[scheduleKey, *scheduleEntry](opts.Shards, opts.CacheCapacity),
+		clusters:  clusters,
+		schedules: schedules,
 		endpoints: make(map[string]*endpointMetrics),
 	}
 	for _, name := range []string{"schedule", "simulate", "batch", "policies", "healthz", "metrics"} {

@@ -382,6 +382,51 @@ func TestPoliciesHealthzMetrics(t *testing.T) {
 	}
 }
 
+// TestMetricsEvictionCounters drives a tiny-capacity server past its
+// schedule-cache budget and checks /metrics surfaces the eviction story:
+// the active policy by name, a nonzero eviction total, and per-shard
+// counts that sum to it.
+func TestMetricsEvictionCounters(t *testing.T) {
+	_, ts := newTestServer(t, Options{CacheCapacity: 2, Shards: 2})
+	for _, policy := range []string{"tic", "critical-path", "fifo", "random"} {
+		for seed := int64(1); seed <= 2; seed++ {
+			resp, payload := post(t, ts.URL+"/v1/schedule",
+				ScheduleRequest{WorkloadSpec: WorkloadSpec{Model: "AlexNet v2", Policy: policy, Seed: seed}})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("schedule %s/%d: %d %s", policy, seed, resp.StatusCode, payload)
+			}
+		}
+	}
+	resp, payload := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var m MetricsResponse
+	if err := json.Unmarshal(payload, &m); err != nil {
+		t.Fatal(err)
+	}
+	sch := m.Cache.Schedules
+	if sch.Policy != "lru" {
+		t.Errorf("schedules cache policy = %q, want lru (the default)", sch.Policy)
+	}
+	if sch.Evictions == 0 {
+		t.Fatalf("8 distinct schedules through capacity 2 evicted nothing: %+v", sch)
+	}
+	if len(sch.EvictionsPerShard) != 2 {
+		t.Fatalf("evictions_per_shard has %d entries, want one per shard (2): %v", len(sch.EvictionsPerShard), sch.EvictionsPerShard)
+	}
+	var sum uint64
+	for _, n := range sch.EvictionsPerShard {
+		sum += n
+	}
+	if sum != sch.Evictions {
+		t.Errorf("per-shard evictions sum to %d, total says %d", sum, sch.Evictions)
+	}
+	if m.Cache.Clusters.Policy != "lru" || len(m.Cache.Clusters.EvictionsPerShard) != 2 {
+		t.Errorf("clusters cache counters missing policy/shard breakdown: %+v", m.Cache.Clusters)
+	}
+}
+
 // TestConcurrentCoalescing is the service's concurrency contract test: 48
 // goroutines (32 identical + 16 across three other configs) slam a cold
 // server through real HTTP, with the schedule build artificially held open

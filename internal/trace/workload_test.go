@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tictac/internal/cache"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace/replay testdata")
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	w, err := Generate(GeneratorSpec{Kind: GenZipf, Seed: 7, Events: 50, Configs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(w)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	base := func() *Workload {
+		return &Workload{Version: WorkloadVersion, Name: "t", Events: []Event{
+			{T: 0, Model: "AlexNet v2", Cost: 10},
+			{T: 1, Model: "AlexNet v2", Cost: 10},
+		}}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	cases := map[string]func(*Workload){
+		"wrong version":     func(w *Workload) { w.Version = 2 },
+		"no events":         func(w *Workload) { w.Events = nil },
+		"time regression":   func(w *Workload) { w.Events[1].T = -1 },
+		"missing model":     func(w *Workload) { w.Events[0].Model = "" },
+		"negative cost":     func(w *Workload) { w.Events[0].Cost = -1 },
+		"inconsistent cost": func(w *Workload) { w.Events[1].Cost = 99 },
+	}
+	for name, mutate := range cases {
+		w := base()
+		mutate(w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadWorkloadRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadWorkload(bytes.NewReader([]byte(`{"version":1,"events":[],"surprise":true}`))); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestGenerateDeterministic pins the determinism contract: same spec,
+// byte-identical trace; different seed, different trace.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, kind := range []string{GenZipf, GenDiurnal, GenFlash} {
+		t.Run(kind, func(t *testing.T) {
+			spec := GeneratorSpec{Kind: kind, Seed: 42, Events: 200, Configs: 16}
+			a, err := Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aj, _ := json.Marshal(a)
+			bj, _ := json.Marshal(b)
+			if !bytes.Equal(aj, bj) {
+				t.Fatal("same spec produced different traces")
+			}
+			spec.Seed = 43
+			c, err := Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cj, _ := json.Marshal(c)
+			if bytes.Equal(aj, cj) {
+				t.Fatal("different seeds produced identical traces")
+			}
+		})
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if _, err := Generate(GeneratorSpec{Kind: "lognormal"}); err == nil {
+		t.Fatal("unknown generator kind accepted")
+	}
+}
+
+// TestGenerateFlashConcentrates checks the flash window actually
+// concentrates arrivals: the crowd config must dominate in-window events.
+func TestGenerateFlashConcentrates(t *testing.T) {
+	spec := GeneratorSpec{Kind: GenFlash, Seed: 5, Events: 600, Configs: 32}.withDefaults()
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowdKey := Event{Model: spec.Models[0], Policy: spec.Policies[0], Workers: 1, PS: 1, Seed: spec.Seed}.Key()
+	in, hits := 0, 0
+	for _, e := range w.Events {
+		if e.T >= spec.FlashStart && e.T < spec.FlashStart+spec.FlashDuration {
+			in++
+			if e.Key() == crowdKey {
+				hits++
+			}
+		}
+	}
+	if in == 0 {
+		t.Fatal("no events landed in the flash window")
+	}
+	if frac := float64(hits) / float64(in); frac < 0.5 {
+		t.Fatalf("crowd config got %d/%d = %.2f of in-window arrivals, want > 0.5", hits, in, frac)
+	}
+}
+
+// TestOracleDominatesOnlinePolicies is the property test behind the
+// shootout's headline claim: on every generated trace, at every capacity,
+// the primed Belady oracle's hit rate is an upper bound on every online
+// policy's.
+func TestOracleDominatesOnlinePolicies(t *testing.T) {
+	for _, kind := range []string{GenZipf, GenDiurnal, GenFlash} {
+		for seed := int64(1); seed <= 3; seed++ {
+			w, err := Generate(GeneratorSpec{Kind: kind, Seed: seed, Events: 400, Configs: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, capacity := range []int{2, 4, 8, 16} {
+				oracle, err := ReplayCache(w, cache.Belady, capacity)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, policy := range cache.Policies() {
+					if policy == cache.Belady {
+						continue
+					}
+					row, err := ReplayCache(w, policy, capacity)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if row.Hits > oracle.Hits {
+						t.Errorf("%s seed=%d cap=%d: %s hit %d > oracle %d — Belady is not optimal",
+							kind, seed, capacity, policy, row.Hits, oracle.Hits)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReplayCacheAccounting sanity-checks one replay's books.
+func TestReplayCacheAccounting(t *testing.T) {
+	w, err := Generate(GeneratorSpec{Kind: GenZipf, Seed: 9, Events: 300, Configs: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := ReplayCache(w, cache.LRU, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Hits+row.Misses != uint64(len(w.Events)) {
+		t.Fatalf("hits %d + misses %d != events %d", row.Hits, row.Misses, len(w.Events))
+	}
+	if row.Misses < uint64(row.DistinctKeys) {
+		t.Fatalf("misses %d < distinct keys %d", row.Misses, row.DistinctKeys)
+	}
+	if row.Evictions == 0 || row.HitRate <= 0 {
+		t.Fatalf("replay of %d keys through capacity 8 looks vacuous: %+v", row.DistinctKeys, row)
+	}
+	if _, err := ReplayCache(w, cache.LRU, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := ReplayCache(w, "astrology", 8); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// goldenTraces are the committed fixed-seed traces CI replays; see
+// TestGoldenReplay. Regenerate with `go test ./internal/trace/ -update`.
+var goldenTraces = []GeneratorSpec{
+	{Kind: GenZipf, Seed: 1, Events: 400, Configs: 32},
+	{Kind: GenDiurnal, Seed: 2, Events: 400, Configs: 32},
+	{Kind: GenFlash, Seed: 3, Events: 400, Configs: 32},
+}
+
+// TestGoldenReplay pins (a) the bundled testdata traces byte-for-byte
+// against their generator specs and (b) every policy's hit/eviction counts
+// on them at a fixed capacity — a replay regression anywhere in the cache,
+// the policies or the generators moves a number here.
+func TestGoldenReplay(t *testing.T) {
+	type golden struct {
+		Rows []ReplayRow `json:"rows"`
+	}
+	var g golden
+	for _, spec := range goldenTraces {
+		w, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracePath := filepath.Join("testdata", w.Name+".trace.json")
+		if *update {
+			if err := WriteWorkloadFile(tracePath, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		onDisk, err := ReadWorkloadFile(tracePath)
+		if err != nil {
+			t.Fatalf("%v (run with -update to regenerate)", err)
+		}
+		wj, _ := json.Marshal(w)
+		dj, _ := json.Marshal(onDisk)
+		if !bytes.Equal(wj, dj) {
+			t.Fatalf("%s: committed trace differs from its generator spec (run with -update)", tracePath)
+		}
+		for _, policy := range cache.Policies() {
+			row, err := ReplayCache(w, policy, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Rows = append(g.Rows, row)
+		}
+	}
+
+	goldenPath := filepath.Join("testdata", "replay.golden.json")
+	if *update {
+		buf, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	got, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if !bytes.Equal(got, want) {
+		t.Fatalf("replay results diverge from golden (run with -update if intended):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func BenchmarkCacheReplay(b *testing.B) {
+	w, err := Generate(GeneratorSpec{Kind: GenZipf, Seed: 1, Events: 2000, Configs: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, policy := range cache.Policies() {
+		b.Run(policy, func(b *testing.B) {
+			b.ReportAllocs()
+			var hits, events uint64
+			for i := 0; i < b.N; i++ {
+				row, err := ReplayCache(w, policy, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hits += row.Hits
+				events += uint64(row.Events)
+			}
+			b.ReportMetric(float64(hits)/float64(events), "hits/req")
+		})
+	}
+}

@@ -41,6 +41,7 @@ package tictac
 import (
 	"io"
 
+	"tictac/internal/cache"
 	"tictac/internal/cluster"
 	"tictac/internal/core"
 	"tictac/internal/graph"
@@ -49,6 +50,7 @@ import (
 	"tictac/internal/service"
 	"tictac/internal/sim"
 	"tictac/internal/timing"
+	"tictac/internal/trace"
 )
 
 // Re-exported types. Aliases keep the public surface in one import while
@@ -159,6 +161,26 @@ type (
 	ServiceLoadOptions = service.LoadOptions
 	// ServiceLoadReport summarizes one load-generator run.
 	ServiceLoadReport = service.LoadReport
+	// ServiceReplayOptions configures the trace-replay harness
+	// (tictacd -loadtest -trace).
+	ServiceReplayOptions = service.ReplayOptions
+	// ServiceReplayReport summarizes one trace replay: live hit-rate and
+	// latency curves per eviction policy × cache size, plus the offline
+	// pure-cache shootout with the Belady oracle.
+	ServiceReplayReport = service.ReplayReport
+
+	// CacheEvictionPolicy is the pluggable eviction-policy interface behind
+	// the service's caches; register implementations with
+	// RegisterCachePolicy (see docs/cache-policies.md).
+	CacheEvictionPolicy = cache.EvictionPolicy
+
+	// WorkloadTrace is a versioned, replayable request trace (see
+	// docs/cache-policies.md for the format).
+	WorkloadTrace = trace.Workload
+	// WorkloadTraceEvent is one arrival in a WorkloadTrace.
+	WorkloadTraceEvent = trace.Event
+	// TraceGeneratorSpec parameterizes GenerateWorkloadTrace.
+	TraceGeneratorSpec = trace.GeneratorSpec
 )
 
 // Op kinds.
@@ -291,6 +313,30 @@ func NewService(opts ServiceOptions) *SchedulingService { return service.New(opt
 // service and verifies every response against direct library computation.
 func RunServiceLoad(opts ServiceLoadOptions) (*ServiceLoadReport, error) {
 	return service.RunLoad(opts)
+}
+
+// RunServiceReplay replays a workload trace against the service and
+// reports hit-rate/latency curves per trace × cache size × eviction
+// policy, plus the offline pure-cache shootout (Belady oracle included).
+func RunServiceReplay(opts ServiceReplayOptions) (*ServiceReplayReport, error) {
+	return service.RunReplay(opts)
+}
+
+// CachePolicies returns every registered cache eviction-policy name in
+// registration order.
+func CachePolicies() []string { return cache.Policies() }
+
+// RegisterCachePolicy adds a cache eviction-policy factory under the given
+// name, making it selectable in ServiceOptions.CachePolicy and every
+// replay/shootout surface. It panics on duplicate or empty names.
+func RegisterCachePolicy(name string, f func() CacheEvictionPolicy) {
+	cache.RegisterPolicy(name, f)
+}
+
+// GenerateWorkloadTrace produces a deterministic synthetic request trace
+// (Zipf, diurnal or flash-crowd) for RunServiceReplay.
+func GenerateWorkloadTrace(spec TraceGeneratorSpec) (*WorkloadTrace, error) {
+	return trace.Generate(spec)
 }
 
 // GraphDigest returns a stable content digest of a graph: invariant to
