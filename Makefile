@@ -8,8 +8,9 @@ GO ?= go
 PERF_BENCHTIME ?= 50x
 
 # Coverage floor for `make cover` (percent). Raised to 80.5 against a
-# measured 82.6% total; raise it as coverage grows, never lower it to make
-# a PR pass.
+# measured 82.6% total (re-measured at 82.6% after the internal/analysis
+# suite landed); raise it as coverage grows, never lower it to make a PR
+# pass.
 COVER_FLOOR ?= 80.5
 
 # Pinned linter versions for `make lint` / the CI lint job. Bump
@@ -17,7 +18,7 @@ COVER_FLOOR ?= 80.5
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race bench fmt vet doc perf cover lint lint-tools ci
+.PHONY: all build test race bench fmt vet doc perf cover lint lint-internal lint-tools ci
 
 all: build
 
@@ -31,9 +32,11 @@ test:
 # TCP PS runtime, the simulator, the cluster layer, the scheduling-policy
 # registry, the parallel bench engine (plus the bench experiments that fan
 # out across it), the sharded singleflight cache and the HTTP service built
-# on it — and the cost-model/stats value types those goroutines share.
+# on it — the cost-model/stats value types those goroutines share, and the
+# graph/trace/core layers whose artifacts are shared read-only across
+# concurrent runs.
 race:
-	$(GO) test -race ./internal/psrt/ ./internal/sim/ ./internal/cluster/ ./internal/sched/ ./internal/timing/ ./internal/stats/ ./internal/cache/ ./internal/service/ ./internal/bench/...
+	$(GO) test -race ./internal/psrt/ ./internal/sim/ ./internal/cluster/ ./internal/sched/ ./internal/timing/ ./internal/stats/ ./internal/cache/ ./internal/service/ ./internal/bench/... ./internal/trace/ ./internal/core/ ./internal/graph/ ./internal/collective/
 
 # Benchmark smoke: compile and run every benchmark once, no measurements.
 bench:
@@ -81,6 +84,19 @@ cover:
 lint:
 	staticcheck ./...
 	govulncheck ./...
+
+# Internal lint gate: the repo's own analyzers (determinism, hot-path
+# allocation, lock discipline, error codes, registry hygiene — see
+# docs/static-analysis.md), run through go vet so package loading and
+# result caching come from the toolchain. `make lint-internal JSON=1`
+# additionally writes machine-readable diagnostics to tictaclint.json
+# (CI uploads it as an artifact).
+lint-internal:
+	$(GO) build -o bin/tictaclint ./cmd/tictaclint
+ifdef JSON
+	$(GO) vet -vettool=bin/tictaclint -json ./... 2> tictaclint.json || true
+endif
+	$(GO) vet -vettool=bin/tictaclint ./...
 
 lint-tools:
 	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)

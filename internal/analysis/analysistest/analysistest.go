@@ -1,0 +1,210 @@
+// Package analysistest runs a framework.Analyzer over golden fixture
+// packages under testdata/src, checking reported diagnostics against
+// inline `// want "regexp"` comments — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the stdlib-only
+// framework.
+//
+// A fixture package lives in <analyzer dir>/testdata/src/<name>/ and may
+// import the standard library only (its dependencies are type-checked from
+// the go build cache via `go list -export`). Every line that should
+// trigger a diagnostic carries a trailing want comment whose quoted
+// regexps must each match one diagnostic reported on that line; lines
+// without a want comment must stay clean.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"tictac/internal/analysis/framework"
+)
+
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{} // import path -> export data file
+)
+
+// stdlibExports ensures export data exists for the given stdlib import
+// paths (plus transitive deps), caching across fixtures in the process.
+func stdlibExports(t *testing.T, paths []string) {
+	t.Helper()
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := exportCache[p]; !ok && p != "unsafe" {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list -export %v: %v\n%s", missing, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exportCache[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// Run loads testdata/src/<pkg> (relative to the caller's directory),
+// applies the analyzer, and reports any mismatch between diagnostics and
+// want comments as test failures.
+func Run(t *testing.T, a *framework.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	var imports []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	stdlibExports(t, imports)
+
+	imp := framework.ExportImporter(fset, func(path string) (string, bool) {
+		exportMu.Lock()
+		defer exportMu.Unlock()
+		f, ok := exportCache[path]
+		return f, ok
+	})
+	tpkg, info, err := framework.TypeCheck(fset, pkg, files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkg, err)
+	}
+	loaded := &framework.Package{
+		ImportPath: pkg,
+		Name:       tpkg.Name(),
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := framework.RunAnalyzers(loaded, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, fset, files, names, diags)
+}
+
+var wantRE = regexp.MustCompile(`// want((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// checkWants matches diagnostics against want comments line by line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, names []string, diags []framework.Diagnostic) {
+	t.Helper()
+	wants := map[lineKey][]*regexp.Regexp{}
+	for i, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey{names[i], pos.Line}
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, q[1], err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+
+	unmatched := map[lineKey][]*regexp.Regexp{}
+	for k, v := range wants {
+		unmatched[k] = append([]*regexp.Regexp(nil), v...)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		res := unmatched[key]
+		hit := -1
+		for i, re := range res {
+			if re.MatchString(d.Message) {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		unmatched[key] = append(res[:hit], res[hit+1:]...)
+	}
+	var keys []lineKey
+	for k, res := range unmatched {
+		if len(res) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range unmatched[k] {
+			t.Errorf("%s: no diagnostic matching %q", fmt.Sprintf("%s:%d", k.file, k.line), re)
+		}
+	}
+}

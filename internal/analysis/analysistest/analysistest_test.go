@@ -1,0 +1,41 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"tictac/internal/analysis/analysistest"
+	"tictac/internal/analysis/framework"
+)
+
+// printlnProbe flags fmt.Println calls — a minimal analyzer exercising the
+// harness end to end: fixture loading, stdlib export resolution,
+// type-checking, and want-comment matching.
+var printlnProbe = &framework.Analyzer{
+	Name: "printlnprobe",
+	Doc:  "flags fmt.Println calls (analysistest self-test probe)",
+	Run: func(p *framework.Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" && sel.Sel.Name == "Println" {
+						p.Reportf(call.Pos(), "call to fmt.Println")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestRunMatchesWantComments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list for stdlib export data")
+	}
+	analysistest.Run(t, printlnProbe, "demo")
+}

@@ -1,0 +1,16 @@
+// Package demo is the fixture for analysistest's own tests: the probe
+// analyzer flags fmt.Println calls, and the want comments here are the
+// golden expectations.
+package demo
+
+import "fmt"
+
+// Greet is flagged once.
+func Greet() {
+	fmt.Println("hi") // want "call to fmt.Println"
+}
+
+// Quiet stays clean: no Println, no want comment.
+func Quiet() string {
+	return fmt.Sprint("quiet")
+}

@@ -1,0 +1,232 @@
+// Package detrand implements the determinism-contract analyzer: inside the
+// packages whose outputs must be bit-identical given seeds (sim, sched,
+// cluster, trace, bench, cache, core, timing — see ARCHITECTURE.md
+// "Determinism"), it forbids wall-clock reads, process-global or
+// process-randomized entropy sources, and appends whose order depends on
+// map iteration. A declaration that legitimately needs one of these opts
+// out with an explicit, reasoned waiver:
+//
+//	//tictac:nondeterministic <reason>
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tictac/internal/analysis/directive"
+	"tictac/internal/analysis/framework"
+)
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "detrand",
+	Doc: `forbids nondeterminism sources in determinism-contract packages
+
+In sim, sched, cluster, trace, bench, cache, core and timing, flags:
+wall-clock reads (time.Now and friends), the process-global math/rand
+RNG (seeded *rand.Rand instances are fine), crypto/rand, per-process
+maphash.MakeSeed, and appends into an outer slice from inside a
+range-over-map (order depends on map iteration unless sorted after).
+Waive a violation by putting "//tictac:nondeterministic <reason>" on the
+enclosing declaration.`,
+	Run: run,
+}
+
+// contractPackages are the path segments naming determinism-contract
+// packages (subpackages such as sim/simref and bench/engine inherit the
+// contract through their parent segment).
+var contractPackages = []string{"sim", "sched", "cluster", "trace", "bench", "cache", "core", "timing"}
+
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"Sleep": true,
+}
+
+// allowedRandFuncs are the math/rand constructors that produce explicitly
+// seeded generators — the sanctioned way to use randomness.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathHasSegment(pass.Pkg.Path(), contractPackages...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		checkSelectors(pass, file)
+		checkMapOrderAppends(pass, file)
+	}
+	return nil
+}
+
+// report applies the waiver protocol before emitting a diagnostic: a
+// waived violation is silenced, but a waiver without a reason is itself a
+// finding (exactly once per directive).
+func report(pass *framework.Pass, file *ast.File, pos token.Pos, format string, args ...any) {
+	if d, ok := directive.EnclosingWaiver(file, pos, directive.Nondeterministic); ok {
+		if d.Args == "" {
+			pass.Reportf(pos, "//tictac:nondeterministic waiver needs a reason explaining why the nondeterminism is acceptable")
+		}
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// checkSelectors flags banned package-level selectors: time.<clock>,
+// math/rand.<global fn>, anything from crypto/rand, maphash.MakeSeed.
+func checkSelectors(pass *framework.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		switch pkgName.Imported().Path() {
+		case "time":
+			if bannedTimeFuncs[name] {
+				report(pass, file, sel.Pos(),
+					"time.%s reads the wall clock in determinism-contract package %q; derive timing from simulated time, or waive with //tictac:nondeterministic <reason>",
+					name, pass.Pkg.Path())
+			}
+		case "math/rand", "math/rand/v2":
+			if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFunc && !allowedRandFuncs[name] {
+				report(pass, file, sel.Pos(),
+					"rand.%s draws from the process-global RNG in determinism-contract package %q; use an explicitly seeded *rand.Rand",
+					name, pass.Pkg.Path())
+			}
+		case "crypto/rand":
+			report(pass, file, sel.Pos(),
+				"crypto/rand is nondeterministic by design; determinism-contract package %q must use seeded randomness",
+				pass.Pkg.Path())
+		case "hash/maphash":
+			if name == "MakeSeed" {
+				report(pass, file, sel.Pos(),
+					"maphash.MakeSeed draws a random per-process seed in determinism-contract package %q; waive with //tictac:nondeterministic <reason> if the hash never reaches an output",
+					pass.Pkg.Path())
+			}
+		}
+		return true
+	})
+}
+
+// checkMapOrderAppends flags `for k := range m { ... s = append(s, ...) }`
+// where s outlives the loop: the element order then depends on map
+// iteration order. Appends whose slice is passed to sort.* or slices.Sort*
+// later in the same function are order-insensitive and exempt.
+func checkMapOrderAppends(pass *framework.Pass, file *ast.File) {
+	// Walk function bodies so the "sorted later" exemption has a scope to
+	// search in.
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		body := fd.Body
+		ast.Inspect(body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(rs.X); t == nil {
+				return true
+			} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+					return true
+				}
+				call, ok := as.Rhs[0].(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) {
+					return true
+				}
+				target, ok := as.Lhs[0].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[target]
+				if obj == nil {
+					obj = pass.TypesInfo.Defs[target]
+				}
+				if obj == nil || !obj.Pos().IsValid() {
+					return true
+				}
+				// Only appends to slices declared before the range are
+				// order-sensitive across iterations.
+				if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+					return true
+				}
+				if sortedAfter(pass, body, obj, rs.End()) {
+					return true
+				}
+				report(pass, file, as.Pos(),
+					"append to %q inside range over map depends on map iteration order; iterate sorted keys, or sort %q before it is observed",
+					target.Name, target.Name)
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func isBuiltinAppend(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether obj is handed to a sort.* or slices.Sort*
+// call after pos within body.
+func sortedAfter(pass *framework.Pass, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pkgName.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

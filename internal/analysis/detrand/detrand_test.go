@@ -1,0 +1,16 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"tictac/internal/analysis/analysistest"
+	"tictac/internal/analysis/detrand"
+)
+
+func TestContractPackage(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "sim")
+}
+
+func TestOutOfScopePackageIsClean(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "web")
+}

@@ -1,0 +1,79 @@
+// Package sim is a detrand fixture: its name puts it in the
+// determinism-contract scope.
+package sim
+
+import (
+	crand "crypto/rand"
+	"hash/maphash"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() float64 {
+	t0 := time.Now()              // want "wall clock"
+	d := time.Since(t0).Seconds() // want "wall clock"
+	time.Sleep(time.Millisecond)  // want "wall clock"
+	_ = time.Duration(5)          // a type conversion, not a clock read
+	_ = time.Millisecond          // a constant, not a clock read
+	return d
+}
+
+func globalRNG() int {
+	n := rand.Intn(10)                 // want "process-global RNG"
+	n += int(rand.Int63())             // want "process-global RNG"
+	rand.Shuffle(n, func(i, j int) {}) // want "process-global RNG"
+	return n
+}
+
+func seededRNG(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // seeded instance: allowed
+	z := rand.NewZipf(rng, 1.2, 1, 64)    // constructor: allowed
+	return rng.Float64() + float64(z.Uint64())
+}
+
+func entropy() []byte {
+	buf := make([]byte, 8)
+	_, _ = crand.Read(buf) // want "crypto/rand"
+	return buf
+}
+
+func hashSeed() maphash.Seed {
+	return maphash.MakeSeed() // want "maphash.MakeSeed"
+}
+
+func mapOrderLeak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "map iteration order"
+	}
+	return out
+}
+
+func mapOrderSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: order-insensitive
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapValuesInPlace(m map[string]float64) {
+	for k := range m {
+		m[k] *= 2 // writes back into the map: order-insensitive
+	}
+}
+
+//tictac:nondeterministic latency recording is observability, not simulation output
+func waivedClock() time.Time {
+	return time.Now() // waived above, with a reason
+}
+
+//tictac:nondeterministic
+func waivedWithoutReason() time.Time {
+	return time.Now() // want "needs a reason"
+}
+
+//tictac:nondeterministic pacing jitter never reaches a result
+var pacerStart = time.Now() // waived on the var declaration

@@ -1,0 +1,24 @@
+// Package web is a detrand fixture outside the determinism-contract scope:
+// nothing here is flagged.
+package web
+
+import (
+	"math/rand"
+	"time"
+)
+
+func uptime(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
+func jitterMillis() int {
+	return rand.Intn(100)
+}
+
+func keysInMapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

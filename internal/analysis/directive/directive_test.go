@@ -1,0 +1,137 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"tictac/internal/analysis/directive"
+)
+
+// src is a self-contained fixture covering every attachment point: package
+// doc, function doc (two stacked directives), var decl doc with args, and
+// an unannotated function.
+const src = `// Package fixture exercises directive parsing.
+//
+//tictac:nondeterministic fixture-wide waiver
+package fixture
+
+// Hot carries two stacked directives.
+//
+//tictac:hotpath
+//tictac:locked
+func Hot() { _ = 1 }
+
+// V carries a directive with an argument.
+//
+//tictac:guardedby mu
+var V int
+
+// Plain has a doc comment but no directives.
+func Plain() { _ = 2 }
+`
+
+func parseFixture(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return fset, f
+}
+
+func decl(t *testing.T, f *ast.File, name string) ast.Decl {
+	t.Helper()
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Name.Name == name {
+				return d
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) > 0 && vs.Names[0].Name == name {
+					return d
+				}
+			}
+		}
+	}
+	t.Fatalf("no decl %q in fixture", name)
+	return nil
+}
+
+func TestParse(t *testing.T) {
+	if got := directive.Parse(nil); got != nil {
+		t.Errorf("Parse(nil) = %v, want nil", got)
+	}
+
+	_, f := parseFixture(t)
+	hot := decl(t, f, "Hot").(*ast.FuncDecl)
+	ds := directive.Parse(hot.Doc)
+	if len(ds) != 2 {
+		t.Fatalf("Parse(Hot.Doc) returned %d directives, want 2: %v", len(ds), ds)
+	}
+	if ds[0].Name != directive.Hotpath || ds[0].Args != "" {
+		t.Errorf("first directive = %+v, want hotpath with no args", ds[0])
+	}
+	if ds[1].Name != directive.Locked {
+		t.Errorf("second directive = %+v, want locked", ds[1])
+	}
+	if !ds[0].Pos.IsValid() {
+		t.Error("directive Pos is invalid")
+	}
+
+	plain := decl(t, f, "Plain").(*ast.FuncDecl)
+	if got := directive.Parse(plain.Doc); got != nil {
+		t.Errorf("Parse(Plain.Doc) = %v, want nil", got)
+	}
+}
+
+func TestFind(t *testing.T) {
+	_, f := parseFixture(t)
+	hot := decl(t, f, "Hot").(*ast.FuncDecl)
+	if d, ok := directive.Find(hot.Doc, directive.Locked); !ok || d.Name != directive.Locked {
+		t.Errorf("Find(locked) = %+v, %v; want a hit", d, ok)
+	}
+	if _, ok := directive.Find(hot.Doc, directive.GuardedBy); ok {
+		t.Error("Find(guardedby) on Hot unexpectedly succeeded")
+	}
+}
+
+func TestHasOnDecl(t *testing.T) {
+	_, f := parseFixture(t)
+	if d, ok := directive.HasOnDecl(decl(t, f, "Hot"), directive.Hotpath); !ok || d.Name != directive.Hotpath {
+		t.Errorf("HasOnDecl(Hot, hotpath) = %+v, %v; want a hit", d, ok)
+	}
+	if d, ok := directive.HasOnDecl(decl(t, f, "V"), directive.GuardedBy); !ok || d.Args != "mu" {
+		t.Errorf("HasOnDecl(V, guardedby) = %+v, %v; want args %q", d, ok, "mu")
+	}
+	if _, ok := directive.HasOnDecl(decl(t, f, "Plain"), directive.Hotpath); ok {
+		t.Error("HasOnDecl(Plain, hotpath) unexpectedly succeeded")
+	}
+	// Declaration kinds without doc comments (e.g. a BadDecl) carry nothing.
+	if _, ok := directive.HasOnDecl(&ast.BadDecl{}, directive.Hotpath); ok {
+		t.Error("HasOnDecl(BadDecl) unexpectedly succeeded")
+	}
+}
+
+func TestEnclosingWaiver(t *testing.T) {
+	_, f := parseFixture(t)
+	hot := decl(t, f, "Hot").(*ast.FuncDecl)
+	plain := decl(t, f, "Plain").(*ast.FuncDecl)
+
+	// A position inside Hot sees Hot's own directive.
+	if d, ok := directive.EnclosingWaiver(f, hot.Body.Pos(), directive.Hotpath); !ok || d.Name != directive.Hotpath {
+		t.Errorf("EnclosingWaiver(in Hot, hotpath) = %+v, %v; want a hit", d, ok)
+	}
+	// A position inside Plain falls back to the package doc.
+	if d, ok := directive.EnclosingWaiver(f, plain.Body.Pos(), directive.Nondeterministic); !ok || d.Args != "fixture-wide waiver" {
+		t.Errorf("EnclosingWaiver(in Plain, nondeterministic) = %+v, %v; want the package waiver", d, ok)
+	}
+	// Neither Plain nor the package doc carries hotpath.
+	if _, ok := directive.EnclosingWaiver(f, plain.Body.Pos(), directive.Hotpath); ok {
+		t.Error("EnclosingWaiver(in Plain, hotpath) unexpectedly succeeded")
+	}
+}

@@ -1,0 +1,253 @@
+// Package errcode implements the error-envelope analyzer for the service
+// API. The {"error":{"code","message"}} envelope is a stable contract
+// (docs/service.md "Errors"): clients branch on codes, so every code the
+// service can emit must come from a declared Code* constant, and every
+// declared constant must appear in the documented error table.
+//
+// The docs side is enforced through internal/service/errcodes_manifest.go,
+// generated from docs/service.md by cmd/errcodegen: the analyzer checks
+// the Code* constants and the manifest agree in both directions, and a
+// service test checks the manifest matches the docs byte-for-byte.
+package errcode
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tictac/internal/analysis/framework"
+)
+
+// Analyzer is the errcode analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "errcode",
+	Doc: `keeps service error codes constant-declared and documented
+
+In service packages, flags codeErr calls and apiError/ErrorBody literals
+whose code is a string literal instead of a Code* constant, Code*
+constants missing from the generated documentedErrorCodes manifest, and
+stale manifest entries naming no constant.`,
+	Run: run,
+}
+
+// manifestVar is the generated map (see cmd/errcodegen) mirroring the
+// docs/service.md error table.
+const manifestVar = "documentedErrorCodes"
+
+func run(pass *framework.Pass) error {
+	if !framework.PathHasSegment(pass.Pkg.Path(), "service") {
+		return nil
+	}
+	codeConsts := collectCodeConsts(pass)
+	if len(codeConsts) == 0 {
+		return nil // not an error-envelope package
+	}
+	checkManifest(pass, codeConsts)
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		checkConstructions(pass, file)
+	}
+	return nil
+}
+
+type codeConst struct {
+	obj   *types.Const
+	value string
+	pos   ast.Node
+}
+
+// collectCodeConsts returns the package-level Code*-named string constants.
+func collectCodeConsts(pass *framework.Pass) []codeConst {
+	var out []codeConst
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Code") || name == "Code" {
+			continue
+		}
+		cn, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if b, ok := cn.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+			continue
+		}
+		out = append(out, codeConst{obj: cn, value: constant(cn)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].obj.Pos() < out[j].obj.Pos() })
+	return out
+}
+
+func constant(c *types.Const) string {
+	s, err := strconv.Unquote(c.Val().ExactString())
+	if err != nil {
+		return c.Val().ExactString()
+	}
+	return s
+}
+
+// checkManifest cross-checks Code* constants against the generated
+// documentedErrorCodes map: every constant documented, no stale entries.
+func checkManifest(pass *framework.Pass, codeConsts []codeConst) {
+	lit := manifestLiteral(pass)
+	if lit == nil {
+		pass.Reportf(codeConsts[0].obj.Pos(),
+			"package declares error-code constants but no %s manifest; run `go generate ./internal/service` (cmd/errcodegen) after documenting the codes in docs/service.md", manifestVar)
+		return
+	}
+	documented := map[string]ast.Expr{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.BasicLit)
+		if !ok {
+			continue
+		}
+		if s, err := strconv.Unquote(key.Value); err == nil {
+			documented[s] = kv.Key
+		}
+	}
+	declared := map[string]bool{}
+	for _, cc := range codeConsts {
+		declared[cc.value] = true
+		if _, ok := documented[cc.value]; !ok {
+			pass.Reportf(cc.obj.Pos(),
+				"error code %s = %q is not documented: add it to the error table in docs/service.md and run `go generate ./internal/service`", cc.obj.Name(), cc.value)
+		}
+	}
+	for value, key := range documented {
+		if !declared[value] {
+			pass.Reportf(key.Pos(),
+				"manifest entry %q is stale: no Code* constant carries this value; re-run `go generate ./internal/service` after updating docs/service.md", value)
+		}
+	}
+}
+
+// manifestLiteral finds `var documentedErrorCodes = map[string]bool{...}`
+// in the package (generated files included).
+func manifestLiteral(pass *framework.Pass) *ast.CompositeLit {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != manifestVar || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := vs.Values[i].(*ast.CompositeLit); ok {
+						return lit
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkConstructions flags error constructions that bypass the constants:
+// a literal code string compiles today and silently drifts from the docs
+// tomorrow.
+func checkConstructions(pass *framework.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkCodeErrCall(pass, e)
+		case *ast.CompositeLit:
+			checkEnvelopeLiteral(pass, e)
+		}
+		return true
+	})
+}
+
+// checkCodeErrCall enforces that codeErr's code argument is a Code*
+// constant reference.
+func checkCodeErrCall(pass *framework.Pass, call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "codeErr" || len(call.Args) < 2 {
+		return
+	}
+	if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); !ok || fn.Pkg() != pass.Pkg {
+		return
+	}
+	reportNonConstCode(pass, call.Args[1], "codeErr code argument")
+}
+
+// checkEnvelopeLiteral enforces the same for apiError/ErrorBody composite
+// literals (field `code` / `Code`).
+func checkEnvelopeLiteral(pass *framework.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return
+	}
+	name := named.Obj().Name()
+	if name != "apiError" && name != "ErrorBody" || named.Obj().Pkg() != pass.Pkg {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && isCodeField(key.Name) {
+				reportNonConstCode(pass, kv.Value, name+" code field")
+			}
+			continue
+		}
+		// Positional literal: match the field by index.
+		if i < st.NumFields() && isCodeField(st.Field(i).Name()) {
+			reportNonConstCode(pass, elt, name+" code field")
+		}
+	}
+}
+
+func isCodeField(name string) bool { return name == "code" || name == "Code" }
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// reportNonConstCode flags expr unless it references a Code* constant (or
+// a non-constant value such as a parameter or struct field, which traces
+// back to a checked construction site).
+func reportNonConstCode(pass *framework.Pass, expr ast.Expr, what string) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok {
+		return
+	}
+	if tv.Value == nil {
+		return // dynamic value: its producer is checked where it is built
+	}
+	var obj types.Object
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	}
+	if obj != nil {
+		if _, isConst := obj.(*types.Const); isConst && strings.HasPrefix(obj.Name(), "Code") {
+			return
+		}
+	}
+	pass.Reportf(expr.Pos(), "%s must be a declared Code* constant, not %s; codes are API surface and must stay in sync with docs/service.md", what, types.ExprString(expr))
+}

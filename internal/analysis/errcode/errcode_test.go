@@ -1,0 +1,12 @@
+package errcode_test
+
+import (
+	"testing"
+
+	"tictac/internal/analysis/analysistest"
+	"tictac/internal/analysis/errcode"
+)
+
+func TestServiceFixtures(t *testing.T) {
+	analysistest.Run(t, errcode.Analyzer, "service")
+}

@@ -1,0 +1,51 @@
+// Package service is an errcode fixture: a miniature of the real
+// internal/service error envelope.
+package service
+
+import "fmt"
+
+const (
+	CodeBadRequest = "bad_request"
+	CodeNotFound   = "not_found"
+	CodeGhost      = "ghost" // want "not documented"
+)
+
+// documentedErrorCodes stands in for the generated manifest.
+var documentedErrorCodes = map[string]bool{
+	"bad_request": true,
+	"not_found":   true,
+	"orphan":      true, // want "stale"
+}
+
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func codeErr(status int, code, format string, args ...any) error {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+func handlers() (error, error, ErrorBody, ErrorBody) {
+	good := codeErr(400, CodeBadRequest, "bad field %q", "x")
+	bad := codeErr(404, "not_found", "no such path") // want "Code. constant"
+	goodBody := ErrorBody{Code: CodeNotFound, Message: "gone"}
+	badBody := ErrorBody{Code: "not_found", Message: "gone"} // want "Code. constant"
+	return good, bad, goodBody, badBody
+}
+
+func literals(ae *apiError) (*apiError, *apiError, ErrorBody) {
+	keyed := &apiError{status: 500, code: "internal", msg: "boom"} // want "Code. constant"
+	positional := &apiError{400, "bad_request", "boom"}            // want "Code. constant"
+	// A dynamic value traces back to a checked construction site.
+	passthrough := ErrorBody{Code: ae.code, Message: ae.msg}
+	return keyed, positional, passthrough
+}

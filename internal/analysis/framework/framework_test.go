@@ -1,0 +1,404 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, fset *token.FileSet, name, src string) *ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", name, err)
+	}
+	return f
+}
+
+// miniPackage type-checks a tiny import-free package so tests can drive
+// RunAnalyzers and emit without shelling out to go list.
+func miniPackage(t *testing.T) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	// Two files, parsed out of filename order, so the diagnostic sort is
+	// observable.
+	fb := mustParse(t, fset, "b.go", "package mini\n\nfunc B() {}\n")
+	fa := mustParse(t, fset, "a.go", "package mini\n\nfunc A() {}\n\nfunc C() {}\n")
+	files := []*ast.File{fb, fa}
+	tpkg, info, err := TypeCheck(fset, "mini", files, nil)
+	if err != nil {
+		t.Fatalf("type-checking mini package: %v", err)
+	}
+	return &Package{
+		ImportPath: "mini",
+		Name:       "mini",
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+}
+
+// funcReporter flags every function declaration it sees.
+var funcReporter = &Analyzer{
+	Name: "funcreporter",
+	Doc:  "reports every function declaration (test probe)",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					p.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// capture swaps os.Stdout/os.Stderr for pipes while fn runs, returning
+// what it printed. The unitchecker paths write to the process streams
+// directly (they are the vet protocol), so their tests need this.
+func capture(t *testing.T, fn func()) (stdout, stderr string) {
+	t.Helper()
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errR, errW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldOut, oldErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = outW, errW
+	outCh := make(chan string, 1)
+	errCh := make(chan string, 1)
+	go func() { b, _ := io.ReadAll(outR); outCh <- string(b) }()
+	go func() { b, _ := io.ReadAll(errR); errCh <- string(b) }()
+	defer func() {
+		os.Stdout, os.Stderr = oldOut, oldErr
+	}()
+	fn()
+	outW.Close()
+	errW.Close()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	return <-outCh, <-errCh
+}
+
+func TestPathHasSegment(t *testing.T) {
+	cases := []struct {
+		path  string
+		names []string
+		want  bool
+	}{
+		{"tictac/internal/sim", []string{"sim"}, true},
+		{"tictac/internal/sim/simref", []string{"sim"}, true},
+		{"sim", []string{"sim"}, true},
+		{"tictac/internal/simulator", []string{"sim"}, false},
+		{"tictac/internal/sim_test", []string{"sim"}, true}, // external test variant
+		{"a/b/c", []string{"x", "c"}, true},
+		{"a/b/c", []string{"x", "y"}, false},
+	}
+	for _, c := range cases {
+		if got := PathHasSegment(c.path, c.names...); got != c.want {
+			t.Errorf("PathHasSegment(%q, %v) = %v, want %v", c.path, c.names, got, c.want)
+		}
+	}
+}
+
+func TestInTestFile(t *testing.T) {
+	fset := token.NewFileSet()
+	tf := fset.AddFile("pkg_test.go", -1, 10)
+	nf := fset.AddFile("pkg.go", -1, 10)
+	p := &Pass{Fset: fset}
+	if !p.InTestFile(tf.Pos(0)) {
+		t.Error("InTestFile(pkg_test.go) = false, want true")
+	}
+	if p.InTestFile(nf.Pos(0)) {
+		t.Error("InTestFile(pkg.go) = true, want false")
+	}
+	if p.InTestFile(token.NoPos) {
+		t.Error("InTestFile(NoPos) = true, want false")
+	}
+}
+
+func TestRunAnalyzersSortsAcrossFiles(t *testing.T) {
+	pkg := miniPackage(t)
+	diags, err := RunAnalyzers(pkg, []*Analyzer{funcReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		if d.Analyzer != "funcreporter" {
+			t.Errorf("diagnostic analyzer = %q, want funcreporter", d.Analyzer)
+		}
+		got = append(got, d.Message)
+	}
+	// a.go's functions sort before b.go's even though b.go parsed first.
+	want := []string{"func A", "func C", "func B"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("diagnostics = %v, want %v (file/position order)", got, want)
+	}
+}
+
+func TestRunAnalyzersPropagatesAnalyzerError(t *testing.T) {
+	pkg := miniPackage(t)
+	broken := &Analyzer{
+		Name: "broken",
+		Doc:  "always fails (test probe)",
+		Run:  func(*Pass) error { return io.ErrUnexpectedEOF },
+	}
+	_, err := RunAnalyzers(pkg, []*Analyzer{broken})
+	if err == nil || !strings.Contains(err.Error(), "broken") || !strings.Contains(err.Error(), "mini") {
+		t.Errorf("RunAnalyzers error = %v, want one naming the analyzer and package", err)
+	}
+}
+
+func TestTypeCheckError(t *testing.T) {
+	fset := token.NewFileSet()
+	f := mustParse(t, fset, "bad.go", "package bad\n\nvar x = undefinedIdent\n")
+	if _, _, err := TypeCheck(fset, "bad", []*ast.File{f}, nil); err == nil {
+		t.Error("TypeCheck of an ill-typed package succeeded, want error")
+	}
+}
+
+func TestLoadAndOverlay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	const repoRoot = "../../.."
+	pkgs, err := Load(LoadConfig{Dir: repoRoot}, "./internal/analysis/directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "tictac/internal/analysis/directive" || pkg.Name != "directive" {
+		t.Errorf("loaded %s (package %s), want tictac/internal/analysis/directive", pkg.ImportPath, pkg.Name)
+	}
+	if len(pkg.Files) == 0 || pkg.Types == nil || pkg.Info == nil {
+		t.Fatalf("loaded package is missing files/types/info: %+v", pkg)
+	}
+	if pkg.Types.Scope().Lookup("Parse") == nil {
+		t.Error("type-checked package lacks the Parse symbol")
+	}
+
+	// An overlay substitutes file bytes without touching disk.
+	target := filepath.Join(pkg.Dir, "directive.go")
+	overlay := map[string][]byte{target: []byte("package directive\n\nconst overlaid = 1\n")}
+	pkgs, err = Load(LoadConfig{Dir: repoRoot, Overlay: overlay}, "./internal/analysis/directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkgs[0].Types.Scope().Lookup("overlaid") == nil {
+		t.Error("overlay was not applied: overlaid symbol missing")
+	}
+	if pkgs[0].Types.Scope().Lookup("Parse") != nil {
+		t.Error("overlay was not applied: original Parse symbol still present")
+	}
+
+	// A syntactically broken overlay surfaces as a parse error.
+	overlay[target] = []byte("package directive\nfunc (")
+	if _, err := Load(LoadConfig{Dir: repoRoot, Overlay: overlay}, "./internal/analysis/directive"); err == nil {
+		t.Error("Load with a broken overlay succeeded, want parse error")
+	}
+
+	// Unknown patterns fail with the go list stderr attached.
+	if _, err := Load(LoadConfig{Dir: repoRoot}, "./does/not/exist"); err == nil {
+		t.Error("Load of a nonexistent pattern succeeded, want error")
+	}
+}
+
+func TestEmitText(t *testing.T) {
+	pkg := miniPackage(t)
+	diags, err := RunAnalyzers(pkg, []*Analyzer{funcReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	code := emit(&out, &errBuf, []*Package{pkg}, map[string][]Diagnostic{"mini": diags}, false)
+	if code != 2 {
+		t.Errorf("emit with findings = %d, want exit code 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "a.go:3:1: func A [funcreporter]") {
+		t.Errorf("text output missing the position/message/analyzer line:\n%s", errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("text mode wrote to stdout: %q", out.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	code = emit(&out, &errBuf, []*Package{pkg}, map[string][]Diagnostic{"mini": nil}, false)
+	if code != 0 || errBuf.Len() != 0 {
+		t.Errorf("clean emit = %d with stderr %q, want 0 and silence", code, errBuf.String())
+	}
+}
+
+func TestEmitJSON(t *testing.T) {
+	pkg := miniPackage(t)
+	diags, err := RunAnalyzers(pkg, []*Analyzer{funcReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	code := emit(&out, &errBuf, []*Package{pkg}, map[string][]Diagnostic{"mini": diags}, true)
+	if code != 0 {
+		t.Errorf("emit -json = %d, want 0 (findings are data, not failures)", code)
+	}
+	var tree map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &tree); err != nil {
+		t.Fatalf("emit -json produced invalid JSON: %v\n%s", err, out.String())
+	}
+	got := tree["mini"]["funcreporter"]
+	if len(got) != 3 || got[0].Message != "func A" || !strings.HasPrefix(got[0].Posn, "a.go:3") {
+		t.Errorf("JSON diagnostics = %+v, want 3 entries starting with func A at a.go:3", got)
+	}
+}
+
+func writeVetCfg(t *testing.T, dir string, cfg vetConfig) string {
+	t.Helper()
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUnit(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "u.go")
+	if err := os.WriteFile(src, []byte("package u\n\nfunc F() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "u.vetx")
+	cfgPath := writeVetCfg(t, dir, vetConfig{
+		ID: "u", Compiler: "gc", Dir: dir, ImportPath: "u",
+		GoFiles: []string{src}, VetxOutput: vetx,
+	})
+
+	var code int
+	_, stderr := capture(t, func() { code = runUnit(cfgPath, false, []*Analyzer{funcReporter}) })
+	if code != 2 {
+		t.Errorf("runUnit with a finding = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "func F") {
+		t.Errorf("runUnit stderr missing the diagnostic:\n%s", stderr)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("runUnit did not write the vetx facts file: %v", err)
+	}
+
+	// A clean unit exits 0.
+	clean := &Analyzer{Name: "clean", Doc: "reports nothing (test probe)", Run: func(*Pass) error { return nil }}
+	if code := runUnit(cfgPath, false, []*Analyzer{clean}); code != 0 {
+		t.Errorf("runUnit clean = %d, want 0", code)
+	}
+
+	// VetxOnly units skip analysis entirely.
+	onlyPath := writeVetCfg(t, t.TempDir(), vetConfig{
+		ID: "u", ImportPath: "u", VetxOnly: true,
+	})
+	if code := runUnit(onlyPath, false, []*Analyzer{funcReporter}); code != 0 {
+		t.Errorf("runUnit VetxOnly = %d, want 0", code)
+	}
+}
+
+func TestRunUnitErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	var code int
+	_, _ = capture(t, func() { code = runUnit(filepath.Join(dir, "missing.cfg"), false, nil) })
+	if code != 1 {
+		t.Errorf("runUnit on a missing config = %d, want 1", code)
+	}
+
+	badJSON := filepath.Join(dir, "bad.cfg")
+	if err := os.WriteFile(badJSON, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = capture(t, func() { code = runUnit(badJSON, false, nil) })
+	if code != 1 {
+		t.Errorf("runUnit on invalid JSON = %d, want 1", code)
+	}
+
+	// An ill-typed unit fails — unless the config says typecheck failures
+	// are someone else's problem (cmd/go sets this for cached failures).
+	src := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(src, []byte("package bad\n\nvar x = undefinedIdent\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := vetConfig{ID: "bad", ImportPath: "bad", GoFiles: []string{src}}
+	_, _ = capture(t, func() { code = runUnit(writeVetCfg(t, dir, cfg), false, []*Analyzer{funcReporter}) })
+	if code != 1 {
+		t.Errorf("runUnit on an ill-typed unit = %d, want 1", code)
+	}
+	cfg.SucceedOnTypecheckFailure = true
+	if code := runUnit(writeVetCfg(t, dir, cfg), false, []*Analyzer{funcReporter}); code != 0 {
+		t.Errorf("runUnit with SucceedOnTypecheckFailure = %d, want 0", code)
+	}
+}
+
+func TestRunStandalone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	clean := &Analyzer{Name: "clean", Doc: "reports nothing (test probe)", Run: func(*Pass) error { return nil }}
+	var code int
+	stdout, _ := capture(t, func() {
+		code = runStandalone([]string{"tictac/internal/analysis/directive"}, true, []*Analyzer{clean})
+	})
+	if code != 0 {
+		t.Errorf("runStandalone clean = %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "tictac/internal/analysis/directive") {
+		t.Errorf("runStandalone -json output missing the package key:\n%s", stdout)
+	}
+
+	_, _ = capture(t, func() { code = runStandalone([]string{"./does/not/exist"}, false, nil) })
+	if code != 1 {
+		t.Errorf("runStandalone on a bad pattern = %d, want 1", code)
+	}
+}
+
+func TestVetProtocolHandshake(t *testing.T) {
+	stdout, _ := capture(t, printVersion)
+	// cmd/go requires the -V=full line to end in a content-derived buildID.
+	if !regexp.MustCompile(`buildID=[0-9a-f]{48}\n$`).MatchString(stdout) {
+		t.Errorf("printVersion output %q does not end in buildID=<48 hex>", stdout)
+	}
+
+	stdout, _ = capture(t, printFlags)
+	var flags []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal([]byte(stdout), &flags); err != nil {
+		t.Fatalf("printFlags produced invalid JSON: %v\n%s", err, stdout)
+	}
+	if len(flags) != 1 || flags[0].Name != "json" || !flags[0].Bool {
+		t.Errorf("printFlags = %+v, want the single boolean json flag", flags)
+	}
+
+	stdout, _ = capture(t, func() { printHelp([]*Analyzer{funcReporter}) })
+	if !strings.Contains(stdout, "funcreporter") || !strings.Contains(stdout, funcReporter.Doc) {
+		t.Errorf("printHelp output missing the analyzer name/doc:\n%s", stdout)
+	}
+}

@@ -1,0 +1,245 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON config file cmd/go hands a -vettool for each
+// package unit (one unit = a package plus its in-package test files).
+// Unknown fields are ignored, so this stays compatible with future go
+// releases adding fields.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// jsonDiagnostic is the per-finding shape of `go vet -json` output.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// Main is the entry point of a tictaclint-style multichecker. It speaks
+// two dialects:
+//
+//   - the cmd/go vettool protocol (-V=full, -flags, then one vet.cfg path
+//     per package unit), so the binary runs as
+//     `go vet -vettool=bin/tictaclint ./...`;
+//   - a standalone mode (`tictaclint [-json] ./...`) that loads packages
+//     itself via `go list -export`, for quick local runs without vet.
+//
+// It exits the process: 0 for clean (or -json, whose findings are data,
+// not failures), 2 when diagnostics were reported, 1 on operational
+// errors.
+func Main(analyzers ...*Analyzer) {
+	args := os.Args[1:]
+	jsonOut := false
+	var rest []string
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			os.Exit(0)
+		case a == "-flags" || a == "--flags":
+			printFlags()
+			os.Exit(0)
+		case a == "-json" || a == "--json":
+			jsonOut = true
+		case a == "-help" || a == "--help" || a == "-h":
+			printHelp(analyzers)
+			os.Exit(0)
+		case strings.HasPrefix(a, "-c="):
+			// cmd/go may ask for N lines of context; diagnostics here
+			// are single-line, so context is accepted and ignored.
+		default:
+			rest = append(rest, a)
+		}
+	}
+
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(runUnit(rest[0], jsonOut, analyzers))
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	os.Exit(runStandalone(rest, jsonOut, analyzers))
+}
+
+// printVersion implements -V=full: cmd/go hashes the line into the build
+// cache key, so it must change whenever the binary does — hence the
+// executable content hash.
+func printVersion() {
+	name := progName()
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil)[:24])
+}
+
+func progName() string {
+	return strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+}
+
+// printFlags implements -flags: cmd/go consumes the list to validate the
+// flags a user passes through `go vet`.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{
+		{Name: "json", Bool: true, Usage: "emit JSON diagnostics instead of text"},
+	}
+	b, _ := json.Marshal(flags)
+	fmt.Println(string(b))
+}
+
+func printHelp(analyzers []*Analyzer) {
+	fmt.Printf("%s: the tictac repo's contract checkers\n\n", progName())
+	fmt.Printf("usage: go vet -vettool=%s ./...   (or: %s [-json] [packages])\n\nAnalyzers:\n\n", progName(), progName())
+	for _, a := range analyzers {
+		fmt.Printf("  %s\n    %s\n\n", a.Name, strings.ReplaceAll(strings.TrimSpace(a.Doc), "\n", "\n    "))
+	}
+}
+
+// runUnit analyzes one vet.cfg package unit and returns the process exit
+// code.
+func runUnit(cfgPath string, jsonOut bool, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: parsing vet config: %v\n", progName(), err)
+		return 1
+	}
+	// The suite computes no cross-package facts, but cmd/go expects the
+	// facts ("vetx") file to exist for dependency units, so always write
+	// an empty one.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// A dependency unit: cmd/go only wants facts, and there are none.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parseMaybeOverlay(fset, name, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	tpkg, info, err := TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: type-checking %s: %v\n", progName(), cfg.ImportPath, err)
+		return 1
+	}
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		Name:       tpkg.Name(),
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return emit(os.Stdout, os.Stderr, []*Package{pkg}, map[string][]Diagnostic{cfg.ImportPath: diags}, jsonOut)
+}
+
+// runStandalone loads the patterns itself and analyzes every matched
+// package (non-test files only; the vettool mode additionally covers
+// in-package test files, which the analyzers skip by contract anyway).
+func runStandalone(patterns []string, jsonOut bool, analyzers []*Analyzer) int {
+	pkgs, err := Load(LoadConfig{}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	perPkg := map[string][]Diagnostic{}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		perPkg[pkg.ImportPath] = diags
+	}
+	return emit(os.Stdout, os.Stderr, pkgs, perPkg, jsonOut)
+}
+
+// emit renders diagnostics (text to stderr, or the `go vet -json` shape to
+// stdout) and returns the exit code: 2 with text findings, 0 otherwise.
+func emit(stdout, stderr io.Writer, pkgs []*Package, perPkg map[string][]Diagnostic, jsonOut bool) int {
+	if jsonOut {
+		tree := map[string]map[string][]jsonDiagnostic{}
+		for _, pkg := range pkgs {
+			byAnalyzer := map[string][]jsonDiagnostic{}
+			for _, d := range perPkg[pkg.ImportPath] {
+				byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagnostic{
+					Posn:    pkg.Fset.Position(d.Pos).String(),
+					Message: d.Message,
+				})
+			}
+			tree[pkg.ImportPath] = byAnalyzer
+		}
+		b, _ := json.MarshalIndent(tree, "", "\t")
+		fmt.Fprintln(stdout, string(b))
+		return 0
+	}
+	code := 0
+	for _, pkg := range pkgs {
+		for _, d := range perPkg[pkg.ImportPath] {
+			fmt.Fprintf(stderr, "%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			code = 2
+		}
+	}
+	return code
+}

@@ -1,0 +1,341 @@
+// Package hotpathalloc implements the zero-allocation structural check for
+// functions annotated //tictac:hotpath (the sim.Runner inner loop and the
+// cache Do fast path). The allocs/op pin in internal/sim's perf tests
+// catches regressions after the fact; this analyzer names the offending
+// construct at review time: formatting calls, string concatenation,
+// closures built inside loops, appends to never-preallocated locals inside
+// loops, and implicit interface boxing.
+//
+// Error construction on failure returns (`return nil, fmt.Errorf(...)`) is
+// exempt: a hot path that bails out is no longer hot.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tictac/internal/analysis/directive"
+	"tictac/internal/analysis/framework"
+)
+
+// Analyzer is the hotpathalloc analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "hotpathalloc",
+	Doc: `flags allocation-causing constructs in //tictac:hotpath functions
+
+Inside an annotated function, flags fmt.Sprint*/fmt.Errorf/errors.New
+(except directly on a return statement), non-constant string
+concatenation, function literals created inside loops, appends inside
+loops to locals declared without preallocated capacity, and implicit
+boxing of non-pointer values into interfaces.`,
+	Run: run,
+}
+
+// allocFmtFuncs are the formatting constructors that always allocate.
+var allocFmtFuncs = map[string]map[string]bool{
+	"fmt":    {"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true, "Appendf": true},
+	"errors": {"New": true},
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, hot := directive.Find(fd.Doc, directive.Hotpath); !hot {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type hotChecker struct {
+	pass *framework.Pass
+	fd   *ast.FuncDecl
+	// exemptCalls are error constructions sitting directly on a return
+	// statement; their own args are exempt from the boxing check too.
+	exemptCalls map[*ast.CallExpr]bool
+	// localInit maps function-local slice objects to their initializer
+	// expression (nil for `var x []T`).
+	localInit map[types.Object]ast.Expr
+	// loops are the for/range statements in the function, for "inside a
+	// loop" queries.
+	loops []ast.Node
+}
+
+func checkHotFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	c := &hotChecker{
+		pass:        pass,
+		fd:          fd,
+		exemptCalls: map[*ast.CallExpr]bool{},
+		localInit:   map[types.Object]ast.Expr{},
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			c.loops = append(c.loops, s)
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if call, ok := res.(*ast.CallExpr); ok && c.isAllocFmtCall(call) {
+					c.exemptCalls[call] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+						var init ast.Expr
+						if len(s.Rhs) == len(s.Lhs) {
+							init = s.Rhs[i]
+						}
+						c.localInit[obj] = init
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, name := range vs.Names {
+							if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+								var init ast.Expr
+								if i < len(vs.Values) {
+									init = vs.Values[i]
+								}
+								c.localInit[obj] = init
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(e)
+		case *ast.BinaryExpr:
+			c.checkConcat(e)
+		case *ast.AssignStmt:
+			c.checkAssign(e)
+		case *ast.FuncLit:
+			if c.insideLoop(e.Pos()) {
+				c.pass.Reportf(e.Pos(), "function literal inside a loop allocates a closure per iteration on //tictac:hotpath function %s", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func (c *hotChecker) insideLoop(pos token.Pos) bool {
+	for _, l := range c.loops {
+		if l.Pos() < pos && pos < l.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// isAllocFmtCall reports whether the call is fmt.Sprint*/fmt.Errorf/
+// errors.New.
+func (c *hotChecker) isAllocFmtCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	funcs, ok := allocFmtFuncs[pkgName.Imported().Path()]
+	return ok && funcs[sel.Sel.Name]
+}
+
+func (c *hotChecker) checkCall(call *ast.CallExpr) {
+	if c.isAllocFmtCall(call) {
+		if !c.exemptCalls[call] {
+			sel := call.Fun.(*ast.SelectorExpr)
+			c.pass.Reportf(call.Pos(), "%s.%s allocates on //tictac:hotpath function %s (only failure returns may construct errors)",
+				exprIdentName(sel.X), sel.Sel.Name, c.fd.Name.Name)
+		}
+		return // args of a formatting call box by design; one finding is enough
+	}
+	c.checkAppendInLoop(call)
+	c.checkCallBoxing(call)
+}
+
+func exprIdentName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}
+
+// checkConcat flags non-constant string concatenation.
+func (c *hotChecker) checkConcat(bin *ast.BinaryExpr) {
+	if bin.Op != token.ADD {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[bin]
+	if !ok || tv.Value != nil { // constant-folded at compile time
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		c.pass.Reportf(bin.Pos(), "string concatenation allocates on //tictac:hotpath function %s (precompute or use an index table)", c.fd.Name.Name)
+	}
+}
+
+// checkAppendInLoop flags `x = append(x, ...)` inside a loop when x is a
+// local declared without preallocated capacity.
+func (c *hotChecker) checkAppendInLoop(call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	if !c.insideLoop(call.Pos()) || len(call.Args) == 0 {
+		return
+	}
+	target, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := c.pass.TypesInfo.Uses[target]
+	init, isLocal := c.localInit[obj]
+	if !isLocal || preallocated(init) {
+		return
+	}
+	c.pass.Reportf(call.Pos(), "append to %q (a local declared without capacity) reallocates inside a loop on //tictac:hotpath function %s; preallocate with make",
+		target.Name, c.fd.Name.Name)
+}
+
+// preallocated reports whether the initializer carries capacity: a make
+// call with a size, a non-empty literal, or any non-literal expression
+// (e.g. reslicing a recycled buffer, the Runner's scratch pattern).
+func preallocated(init ast.Expr) bool {
+	switch e := init.(type) {
+	case nil:
+		return false
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" {
+			return len(e.Args) >= 2
+		}
+		return true
+	case *ast.CompositeLit:
+		return len(e.Elts) > 0
+	default:
+		return true
+	}
+}
+
+// checkCallBoxing flags concrete non-pointer values passed to interface
+// parameters.
+func (c *hotChecker) checkCallBoxing(call *ast.CallExpr) {
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// A conversion T(x): boxing when T is an interface.
+		if len(call.Args) == 1 && isInterface(tv.Type) {
+			c.reportBoxing(call.Args[0], "conversion")
+		}
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return // builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice itself
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isInterface(pt) {
+			c.reportBoxing(arg, "argument")
+		}
+	}
+}
+
+// checkAssign flags concrete non-pointer values assigned to interface
+// variables.
+func (c *hotChecker) checkAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := c.pass.TypesInfo.TypeOf(lhs)
+		if lt == nil || !isInterface(lt) {
+			continue
+		}
+		c.reportBoxing(as.Rhs[i], "assignment")
+	}
+}
+
+// isInterface reports whether t is a real interface type (type parameters
+// are constraint interfaces underneath, but values of type-parameter type
+// do not box).
+func isInterface(t types.Type) bool {
+	if _, isTP := t.(*types.TypeParam); isTP {
+		return false
+	}
+	return types.IsInterface(t)
+}
+
+// reportBoxing emits the boxing diagnostic when expr's value would
+// allocate to live in an interface: concrete, non-pointer-shaped, not nil.
+func (c *hotChecker) reportBoxing(expr ast.Expr, how string) {
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := tv.Type
+	if t == types.Typ[types.UntypedNil] {
+		return
+	}
+	if _, isTP := t.(*types.TypeParam); isTP {
+		return
+	}
+	if types.IsInterface(t) {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: fits the interface word without allocating
+	case *types.Basic:
+		if t.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return
+		}
+	}
+	c.pass.Reportf(expr.Pos(), "interface %s boxes a %s on //tictac:hotpath function %s (keep hot values concrete)",
+		how, types.TypeString(t, types.RelativeTo(c.pass.Pkg)), c.fd.Name.Name)
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"tictac/internal/analysis/analysistest"
+	"tictac/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathFixtures(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "hot")
+}

@@ -1,0 +1,80 @@
+// Package hot is a hotpathalloc fixture: annotated functions are checked,
+// unannotated ones are not.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+func sink(v any)        { _ = v }
+func sinkAll(vs ...any) { _ = vs }
+func sinkPtr(p *int)    { _ = p }
+func build(n int) ([]int, error) {
+	if n < 0 {
+		return nil, errors.New("negative")
+	}
+	return make([]int, n), nil
+}
+
+//tictac:hotpath
+func formatting(name string, n int) (string, error) {
+	s := fmt.Sprintf("op-%d", n) // want "fmt.Sprintf allocates"
+	e := fmt.Errorf("bad %d", n) // want "fmt.Errorf allocates"
+	_ = e
+	if n < 0 {
+		return "", fmt.Errorf("negative count %d", n) // failure return: exempt
+	}
+	return s, nil
+}
+
+//tictac:hotpath
+func concat(a, b string) string {
+	const prefix = "op-" + "v1" // constant-folded: allowed
+	return a + b                // want "string concatenation allocates"
+}
+
+//tictac:hotpath
+func closures(xs []int) func() int {
+	f := func() int { return len(xs) } // outside a loop: one-time cost, allowed
+	for i := range xs {
+		g := func() int { return i } // want "function literal inside a loop"
+		_ = g()
+	}
+	return f
+}
+
+//tictac:hotpath
+func appends(xs []int) ([]int, []int) {
+	var grown []int
+	sized := make([]int, 0, len(xs))
+	for _, x := range xs {
+		grown = append(grown, x) // want "declared without capacity"
+		sized = append(sized, x) // preallocated: allowed
+	}
+	return grown, sized
+}
+
+//tictac:hotpath
+func boxing(n int, p *int) {
+	sink(n)       // want "interface argument boxes"
+	sink(p)       // pointer-shaped: allowed
+	sinkAll(n, p) // want "interface argument boxes"
+	var v any
+	v = n // want "interface assignment boxes"
+	v = p // pointer-shaped: allowed
+	_ = v
+	_ = any(n) // want "interface conversion boxes"
+}
+
+// coldPath exercises every banned construct without the annotation:
+// nothing here is flagged.
+func coldPath(xs []int, a, b string) string {
+	var grown []int
+	for _, x := range xs {
+		grown = append(grown, x)
+		_ = func() int { return x }
+	}
+	sink(len(grown))
+	return fmt.Sprintf("%s%s", a, a+b)
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"tictac/internal/analysis/analysistest"
+	"tictac/internal/analysis/lockdiscipline"
+)
+
+func TestShardCacheFixtures(t *testing.T) {
+	analysistest.Run(t, lockdiscipline.Analyzer, "shardcache")
+}

@@ -1,0 +1,130 @@
+// Package shardcache is a lockdiscipline fixture: a miniature of the
+// internal/cache shard structure.
+package shardcache
+
+import "sync"
+
+// Policy mirrors cache.EvictionPolicy: all four mutation methods, so calls
+// through it are lock-checked.
+type Policy interface {
+	Admit(h uint64, id string, cost int64)
+	Touch(h uint64)
+	Victim() (uint64, bool)
+	Remove(h uint64)
+}
+
+type shard struct {
+	mu     sync.Mutex
+	policy Policy
+	//tictac:guardedby mu
+	resident int
+}
+
+type badAnnot struct {
+	mu sync.Mutex
+	//tictac:guardedby
+	count int // want "needs the name"
+}
+
+func sequential(s *shard) {
+	s.mu.Lock()
+	s.policy.Touch(1)
+	s.resident++
+	s.mu.Unlock()
+}
+
+func deferred(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.resident > 0 {
+		s.policy.Touch(2)
+	}
+	return s.resident
+}
+
+func unlocked(s *shard) {
+	s.policy.Touch(3) // want "without holding"
+	s.resident++      // want "guardedby"
+}
+
+func afterUnlock(s *shard) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.resident++ // want "not held"
+}
+
+func wrongLock(s, other *shard) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	s.resident++ // want "s.mu is not held"
+}
+
+func lockInBranchDoesNotLeak(s *shard, take bool) {
+	if take {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	s.resident++ // want "not held"
+}
+
+//tictac:locked
+func admitLocked(s *shard, h uint64) {
+	s.policy.Admit(h, "x", 1)
+	s.resident++
+}
+
+func callsLockedHolding(s *shard) {
+	s.mu.Lock()
+	admitLocked(s, 1)
+	s.mu.Unlock()
+}
+
+func callsLockedBare(s *shard) {
+	admitLocked(s, 2) // want "no lock is held"
+}
+
+func closureStartsUnlocked(s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := func() {
+		s.resident++ // want "not held"
+	}
+	f()
+}
+
+func closureLocksItself(s *shard) func() {
+	return func() {
+		s.mu.Lock()
+		s.resident++
+		s.mu.Unlock()
+	}
+}
+
+func sumLoop(shards []*shard) int {
+	n := 0
+	for _, s := range shards {
+		s.mu.Lock()
+		n += s.resident
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// toucher has Touch but not the full policy method set: not lock-checked.
+type toucher interface{ Touch(h uint64) }
+
+func touchOnly(t toucher) { t.Touch(1) }
+
+// lru is a concrete policy: calls on a concrete receiver are the policy's
+// own business (composition like belady-over-lru), not lock-checked.
+type lru struct{ n int }
+
+func (l *lru) Admit(h uint64, id string, cost int64) { l.n++ }
+func (l *lru) Touch(h uint64)                        {}
+func (l *lru) Victim() (uint64, bool)                { return 0, l.n > 0 }
+func (l *lru) Remove(h uint64)                       { l.n-- }
+
+func concreteCalls(l *lru) {
+	l.Admit(1, "a", 1)
+	l.Remove(1)
+}

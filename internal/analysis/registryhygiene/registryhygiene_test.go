@@ -1,0 +1,16 @@
+package registryhygiene_test
+
+import (
+	"testing"
+
+	"tictac/internal/analysis/analysistest"
+	"tictac/internal/analysis/registryhygiene"
+)
+
+func TestRegistryFixtures(t *testing.T) {
+	analysistest.Run(t, registryhygiene.Analyzer, "sched")
+}
+
+func TestExperimentCatalogFixtures(t *testing.T) {
+	analysistest.Run(t, registryhygiene.Analyzer, "bench")
+}

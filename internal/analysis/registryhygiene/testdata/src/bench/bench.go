@@ -1,0 +1,18 @@
+// Package bench is a registryhygiene fixture for the static experiment
+// catalog shape.
+package bench
+
+type Experiment struct {
+	Name string
+	Run  func() error
+}
+
+func Experiments() []Experiment {
+	return []Experiment{
+		{Name: "table1"},
+		{Name: "sweep"},
+		{Name: "Table2"}, // want "lowercase"
+		{Name: "table1"}, // want "duplicated"
+		{Name: ""},       // want "non-empty"
+	}
+}

@@ -1,0 +1,40 @@
+// Package sched is a registryhygiene fixture: a miniature of the real
+// name->factory registries.
+package sched
+
+var (
+	factories = map[string]func() int{}
+	regOrder  []string
+)
+
+func Register(name string, f func() int) {
+	factories[name] = f
+	regOrder = append(regOrder, name)
+}
+
+// RegisterAlias delegates: calling Register from an exported Register*
+// function is allowed.
+func RegisterAlias(name string, f func() int) {
+	Register(name, f)
+}
+
+func Names() []string { return append([]string(nil), regOrder...) }
+
+func init() {
+	Register("tic", func() int { return 1 })
+	Register("tac", func() int { return 2 })
+	Register("tic", func() int { return 3 }) // want "already registered"
+	Register("TAC", func() int { return 4 }) // want "lowercase"
+	Register("", func() int { return 5 })    // want "non-empty"
+}
+
+func sneaky() {
+	Register("late", func() int { return 6 }) // want "outside func init"
+}
+
+var orphanOrder []string
+
+// RegisterOrphan records names nothing ever lists.
+func RegisterOrphan(name string) { // want "no exported function reads"
+	orphanOrder = append(orphanOrder, name)
+}

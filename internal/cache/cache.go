@@ -142,14 +142,18 @@ type shard[K comparable, V any] struct {
 	entries map[K]*entry[K, V]
 	// byHandle maps the opaque handles the eviction policy speaks back to
 	// resident entries; nextHandle is never reused.
-	byHandle   map[Handle]*entry[K, V]
+	byHandle map[Handle]*entry[K, V]
+	//tictac:guardedby mu
 	nextHandle Handle
 	policy     EvictionPolicy
-	resident   int
+	//tictac:guardedby mu
+	resident int
 	// residentCost is the Cost sum of resident entries; evictions counts
-	// this shard's evictions (both guarded by mu).
+	// this shard's evictions.
+	//tictac:guardedby mu
 	residentCost int64
-	evictions    uint64
+	//tictac:guardedby mu
+	evictions uint64
 }
 
 type entry[K comparable, V any] struct {
@@ -179,6 +183,8 @@ func New[K comparable, V any](shards, capacity int) *Cache[K, V] {
 
 // NewWith returns a cache configured by cfg. It errors on an unknown
 // eviction policy name, listing the registry.
+//
+//tictac:nondeterministic maphash.MakeSeed only spreads keys across shards; hit/miss/eviction semantics and every returned value are identical for any seed
 func NewWith[K comparable, V any](cfg Config[K, V]) (*Cache[K, V], error) {
 	shards := cfg.Shards
 	if shards < 1 {
@@ -239,6 +245,8 @@ func (c *Cache[K, V]) Policy() string { return c.policyName }
 // Concurrent calls for the same missing key run build exactly once and all
 // receive its value (Outcome reports how each call was served). Build
 // errors propagate to every waiter and leave the key uncached.
+//
+//tictac:hotpath
 func (c *Cache[K, V]) Do(key K, build func() (V, error)) (V, Outcome, error) {
 	s := &c.shards[maphash.Comparable(c.seed, key)%uint64(len(c.shards))]
 	s.mu.Lock()
@@ -295,6 +303,8 @@ func (c *Cache[K, V]) Do(key K, build func() (V, error)) (V, Outcome, error) {
 // restores the capacity invariants. Caller holds s.mu. Note the admitted
 // entry itself is a legal victim: a single entry costlier than the shard's
 // whole cost budget is served to its waiters but not retained.
+//
+//tictac:locked
 func (c *Cache[K, V]) admit(s *shard[K, V], e *entry[K, V]) {
 	e.handle = s.nextHandle
 	s.nextHandle++
@@ -377,6 +387,8 @@ func (c *Cache[K, V]) ShardEvictions() []uint64 {
 // evict removes the policy's chosen victim from s, reporting whether an
 // eviction happened. Caller holds s.mu; in-flight entries were never
 // admitted to the policy and cannot be chosen.
+//
+//tictac:locked
 func (c *Cache[K, V]) evict(s *shard[K, V]) bool {
 	h, ok := s.policy.Victim()
 	if !ok {

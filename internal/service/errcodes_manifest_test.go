@@ -1,0 +1,40 @@
+package service
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// codeTableRow matches a body row of the docs/service.md error table:
+// `| <status> | `<code>` | <when> |`.
+var codeTableRow = regexp.MustCompile("(?m)^\\|\\s*\\d+\\s*\\|\\s*`([a-z0-9_]+)`\\s*\\|")
+
+// TestErrorCodeManifestFresh fails when errcodes_manifest.go drifts from
+// the error table in docs/service.md — the fix is re-running
+// `go generate ./internal/service`. Together with the errcode analyzer
+// (manifest <-> Code* constants) this closes the loop docs <-> manifest
+// <-> code.
+func TestErrorCodeManifestFresh(t *testing.T) {
+	md, err := os.ReadFile("../../docs/service.md")
+	if err != nil {
+		t.Fatalf("reading docs: %v", err)
+	}
+	docCodes := map[string]bool{}
+	for _, m := range codeTableRow.FindAllStringSubmatch(string(md), -1) {
+		docCodes[m[1]] = true
+	}
+	if len(docCodes) == 0 {
+		t.Fatal("no error-code table rows found in docs/service.md; did the table format change?")
+	}
+	for code := range docCodes {
+		if !documentedErrorCodes[code] {
+			t.Errorf("docs/service.md documents %q but errcodes_manifest.go lacks it; run `go generate ./internal/service`", code)
+		}
+	}
+	for code := range documentedErrorCodes {
+		if !docCodes[code] {
+			t.Errorf("errcodes_manifest.go lists %q but docs/service.md does not document it; run `go generate ./internal/service`", code)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package service
 
+//go:generate go run tictac/cmd/errcodegen -docs ../../docs/service.md -out errcodes_manifest.go
+
 import (
 	"errors"
 	"fmt"

@@ -215,6 +215,8 @@ func (r *Runner) putState(st *runState) {
 }
 
 // Run executes the graph once under the given configuration.
+//
+//tictac:hotpath
 func (r *Runner) Run(cfg Config) (*Result, error) {
 	if cfg.Oracle == nil {
 		return nil, fmt.Errorf("sim: Config.Oracle is required")
@@ -228,6 +230,8 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 
 // run is the hot path. Everything it touches is either in the precomputed
 // Runner view, the recycled runState, or the freshly allocated Result.
+//
+//tictac:hotpath
 func (r *Runner) run(cfg Config, pos []int32, st *runState) (*Result, error) {
 	// Reset recycled state. The RNG is re-seeded in place, which yields
 	// exactly the stream of rand.New(rand.NewSource(seed)).
@@ -320,6 +324,8 @@ func (r *Runner) run(cfg Config, pos []int32, st *runState) (*Result, error) {
 }
 
 // addCand inserts a resource index into the sorted unique candidate list.
+//
+//tictac:hotpath
 func (st *runState) addCand(ri int32) {
 	i := 0
 	for i < len(st.cand) && st.cand[i] < ri {
@@ -335,6 +341,8 @@ func (st *runState) addCand(ri int32) {
 
 // dispatch starts the next op on resource ri if it is idle and has ready
 // work: pick per the paper's rule, time the op, and push its completion.
+//
+//tictac:hotpath
 func (r *Runner) dispatch(st *runState, ri int32) {
 	if st.busy[ri] || len(st.ready[ri]) == 0 {
 		return
@@ -375,6 +383,8 @@ func (r *Runner) dispatch(st *runState, ri int32) {
 // Intn(1) draw when the candidate set is a singleton), so streams are
 // bit-identical. The second return value reports whether an injected
 // reorder error displaced the top-priority transfer.
+//
+//tictac:hotpath
 func (r *Runner) pick(st *runState, ready []int32) (int32, bool) {
 	if len(ready) == 1 {
 		return ready[0], false
@@ -418,6 +428,8 @@ func (r *Runner) pick(st *runState, ready []int32) (int32, bool) {
 // removeID removes the first occurrence of id, swapping in the last element
 // (the ready lists are unordered between picks, but the swap pattern must
 // match the old implementation so subsequent scans see the same order).
+//
+//tictac:hotpath
 func removeID(xs []int32, id int32) []int32 {
 	for i, x := range xs {
 		if x == id {

@@ -57,15 +57,16 @@ func WriteChrome(w io.Writer, res *sim.Result) error {
 		})
 	}
 	for i, r := range sortedKeys(resources) {
-		resourceTID[r] = i + 1
-	}
-	for r, tid := range resourceTID {
-		// Attach the thread label to the owning device's process.
-		pid := 0
+		tid := i + 1
+		resourceTID[r] = tid
+		// Attach the thread label to the owning device's process. Device
+		// names may be prefixes of one another ("w1" owns "w1/gpu" but not
+		// "w10/gpu"), so the longest matching prefix wins — which also makes
+		// the choice independent of map iteration order.
+		pid, matched := 0, 0
 		for d, p := range devicePID {
-			if len(r) >= len(d) && r[:len(d)] == d {
-				pid = p
-				break
+			if len(d) > matched && len(r) >= len(d) && r[:len(d)] == d {
+				pid, matched = p, len(d)
 			}
 		}
 		if pid == 0 {

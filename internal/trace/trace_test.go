@@ -3,8 +3,10 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"testing"
 
+	"tictac/internal/graph"
 	"tictac/internal/model"
 	"tictac/internal/sim"
 	"tictac/internal/timing"
@@ -72,5 +74,67 @@ func TestWriteChromeMultiDevice(t *testing.T) {
 	}
 	if !bytes.Contains(buf.Bytes(), []byte("net:ps:1")) {
 		t.Fatal("trace lost a resource lane")
+	}
+}
+
+// TestWriteChromeDeterministicMetadata locks in two fixes: thread_name
+// metadata is emitted in sorted resource order (not map iteration order),
+// and a resource is attached to the device with the longest matching name
+// prefix, so "w10/gpu" belongs to "w10" even though "w1" is also a prefix.
+func TestWriteChromeDeterministicMetadata(t *testing.T) {
+	mkSpan := func(dev, res string) sim.Span {
+		return sim.Span{Op: &graph.Op{Name: dev + "-op", Device: dev, Resource: res}, Start: 0, End: 1}
+	}
+	res := &sim.Result{Spans: []sim.Span{
+		mkSpan("w10", "w10/gpu"),
+		mkSpan("w1", "w1/gpu"),
+		mkSpan("w10", "w10/nic"),
+		mkSpan("w2", "w2/gpu"),
+	}}
+
+	var first bytes.Buffer
+	if err := WriteChrome(&first, res); err != nil {
+		t.Fatal(err)
+	}
+	for range 20 {
+		var again bytes.Buffer
+		if err := WriteChrome(&again, res); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatal("WriteChrome output differs between runs on the same Result")
+		}
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(first.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	processPID := map[string]float64{}
+	threadPID := map[string]float64{}
+	var threadOrder []string
+	for _, e := range events {
+		if e["ph"] != "M" {
+			continue
+		}
+		name := e["args"].(map[string]any)["name"].(string)
+		switch e["name"] {
+		case "process_name":
+			processPID[name] = e["pid"].(float64)
+		case "thread_name":
+			threadPID[name] = e["pid"].(float64)
+			threadOrder = append(threadOrder, name)
+		}
+	}
+	for resource, wantDev := range map[string]string{
+		"w1/gpu": "w1", "w10/gpu": "w10", "w10/nic": "w10", "w2/gpu": "w2",
+	} {
+		if threadPID[resource] != processPID[wantDev] {
+			t.Errorf("resource %s attached to pid %v, want device %s (pid %v)",
+				resource, threadPID[resource], wantDev, processPID[wantDev])
+		}
+	}
+	if !sort.StringsAreSorted(threadOrder) {
+		t.Errorf("thread_name metadata not in sorted resource order: %v", threadOrder)
 	}
 }
