@@ -19,8 +19,8 @@ func TestParseArgsDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cfg.experiments) != 15 {
-		t.Fatalf("experiments = %d, want 15", len(cfg.experiments))
+	if len(cfg.experiments) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(cfg.experiments))
 	}
 	if cfg.opts.Policies != nil {
 		t.Fatalf("default policies = %v, want nil (all registered)", cfg.opts.Policies)

@@ -27,6 +27,9 @@ type app struct {
 	latencyWindow int
 	maxBatch      int
 	batchJobs     int
+	readTimeout   time.Duration
+	writeTimeout  time.Duration
+	idleTimeout   time.Duration
 
 	loadtest    bool
 	target      string
@@ -36,6 +39,7 @@ type app struct {
 	models      string
 	policies    string
 	batches     int
+	churnProbes int
 	checkErrors bool
 	reportPath  string
 
@@ -56,6 +60,9 @@ func parseFlags(args []string, stderr io.Writer) (*app, error) {
 	fs.IntVar(&a.latencyWindow, "latency-window", 0, "latency sample window for /metrics percentiles (0 = default)")
 	fs.IntVar(&a.maxBatch, "max-batch", service.DefaultMaxBatch, "max variants per /v1/batch request (above = 413 batch_too_large)")
 	fs.IntVar(&a.batchJobs, "batch-jobs", 0, "worker-pool width for /v1/batch fan-out (0 = GOMAXPROCS; results are identical at any width)")
+	fs.DurationVar(&a.readTimeout, "read-timeout", 30*time.Second, "max duration for reading an entire request including the body (0 = unlimited)")
+	fs.DurationVar(&a.writeTimeout, "write-timeout", 30*time.Second, "max duration for writing a response (0 = unlimited)")
+	fs.DurationVar(&a.idleTimeout, "idle-timeout", 2*time.Minute, "max keep-alive idle time before a connection is closed (0 = read-timeout)")
 	fs.BoolVar(&a.loadtest, "loadtest", false, "run the deterministic load generator instead of serving")
 	fs.StringVar(&a.target, "target", "", "loadtest: base URL of a running tictacd (empty = spin up an in-process server)")
 	fs.IntVar(&a.requests, "requests", 200, "loadtest: total schedule requests")
@@ -64,6 +71,7 @@ func parseFlags(args []string, stderr io.Writer) (*app, error) {
 	fs.StringVar(&a.models, "models", "", "loadtest: comma-separated Table 1 model names (empty = default trio)")
 	fs.StringVar(&a.policies, "policies", "", "loadtest: comma-separated policy names (empty = tic,critical-path)")
 	fs.IntVar(&a.batches, "batches", 0, "loadtest: /v1/batch requests mixed into the load (0 = default 4, negative = none)")
+	fs.IntVar(&a.churnProbes, "churn-probes", 0, "loadtest: membership-churn probes asserting no stale schedule survives a fleet change (0 = default 2, negative = none)")
 	fs.BoolVar(&a.checkErrors, "check-errors", true, "loadtest: run the error-injection probes asserting structured codes")
 	fs.StringVar(&a.reportPath, "report", "", "loadtest: also write the JSON report to this file")
 	fs.StringVar(&a.tracePath, "trace", "", "loadtest: replay this workload trace file instead of the synthetic mix (see docs/cache-policies.md)")
@@ -138,14 +146,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return a.runDaemon(stdout, stderr)
 }
 
+// httpServer builds a hardened server around the handler: header, body,
+// write, and idle deadlines so a slow or stalled client cannot pin a
+// connection (and its serving goroutine) indefinitely.
+func (a *app) httpServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              a.addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       a.readTimeout,
+		WriteTimeout:      a.writeTimeout,
+		IdleTimeout:       a.idleTimeout,
+	}
+}
+
 // runDaemon serves until SIGINT/SIGTERM, then drains in-flight requests.
 func (a *app) runDaemon(stdout, stderr io.Writer) int {
 	svc := service.New(a.options())
-	srv := &http.Server{
-		Addr:              a.addr,
-		Handler:           svc.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := a.httpServer(svc.Handler())
 	ln, err := net.Listen("tcp", a.addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "tictacd: listen: %v\n", err)
@@ -191,7 +209,7 @@ func (a *app) runLoadtest(stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "tictacd: listen: %v\n", err)
 			return 1
 		}
-		srv := &http.Server{Handler: service.New(a.options()).Handler()}
+		srv := a.httpServer(service.New(a.options()).Handler())
 		go srv.Serve(ln)
 		defer srv.Close()
 		target = "http://" + ln.Addr().String()
@@ -206,6 +224,7 @@ func (a *app) runLoadtest(stdout, stderr io.Writer) int {
 		Models:      splitList(a.models),
 		Policies:    splitList(a.policies),
 		Batches:     a.batches,
+		ChurnProbes: a.churnProbes,
 		CheckErrors: a.checkErrors,
 		BatchLimit:  a.maxBatch,
 	})

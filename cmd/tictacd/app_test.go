@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"tictac/internal/service"
 	"tictac/internal/trace"
@@ -44,6 +48,70 @@ func TestLoadtestInProcess(t *testing.T) {
 	var viaStdout service.LoadReport
 	if err := json.Unmarshal(stdout.Bytes(), &viaStdout); err != nil {
 		t.Errorf("stdout not a JSON report: %v", err)
+	}
+}
+
+// TestServerTimeoutsDropSlowClient pins the hardened server config: a
+// client that sends its headers and then stalls mid-body is disconnected by
+// ReadTimeout instead of holding a serving goroutine for as long as it
+// pleases.
+func TestServerTimeoutsDropSlowClient(t *testing.T) {
+	a, err := parseFlags([]string{
+		"-read-timeout", "150ms",
+		"-write-timeout", "150ms",
+		"-idle-timeout", "150ms",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := a.httpServer(service.New(a.options()).Handler())
+	if srv.ReadTimeout != 150*time.Millisecond || srv.WriteTimeout != 150*time.Millisecond ||
+		srv.IdleTimeout != 150*time.Millisecond || srv.ReadHeaderTimeout == 0 {
+		t.Fatalf("server timeouts not wired: %+v", srv)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Headers promise a 100-byte body that never arrives.
+	if _, err := io.WriteString(conn,
+		"POST /v1/schedule HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: 100\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 512)
+	if _, err := conn.Read(buf); err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatal("server kept the stalled connection open past its ReadTimeout")
+		}
+		// Closed without a response: the read deadline fired. Good.
+	}
+	// A well-behaved client on the same server still gets served.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatalf("healthy request after slow client: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d after slow client", resp.StatusCode)
+	}
+}
+
+func TestDefaultTimeoutsNonZero(t *testing.T) {
+	a, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.readTimeout <= 0 || a.writeTimeout <= 0 || a.idleTimeout <= 0 {
+		t.Fatalf("default timeouts = %v/%v/%v, want all > 0", a.readTimeout, a.writeTimeout, a.idleTimeout)
 	}
 }
 

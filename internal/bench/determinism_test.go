@@ -28,6 +28,9 @@ func TestAllExperimentsDeterministicAcrossJobs(t *testing.T) {
 		TrainIters: 5,
 		Seed:       1,
 		Models:     []string{"Inception v1"},
+		// Small fleets keep the churn sweep affordable at this model size;
+		// the scenario × rate grid still runs in full.
+		ChurnWorkers: []int{8, 16},
 	}
 	for _, exp := range Experiments() {
 		exp := exp

@@ -43,6 +43,17 @@ type Options struct {
 	// scenarios (see HeteroScenarioNames); nil sweeps all of them. The
 	// homogeneous baseline always runs — it is the normalization anchor.
 	HeteroScenarios []string
+	// ChurnWorkers lists the fleet sizes the churn experiment sweeps
+	// (each >= 8 so the event script never empties the fleet or re-fails
+	// a degraded shard); nil uses {16, 64, 256}.
+	ChurnWorkers []int
+	// ChurnRates lists the churn experiment's event rates in strikes per
+	// protocol iteration, each in (0, 1]; nil uses {0.25, 1}.
+	ChurnRates []float64
+	// ChurnScenarios restricts the churn experiment to the named scenarios
+	// (see ChurnScenarioNames); nil sweeps all of them. The stable baseline
+	// always runs — it is the normalization anchor.
+	ChurnScenarios []string
 	// Seed is the base RNG seed.
 	Seed int64
 	// Jobs bounds the experiment engine's worker pool. Zero means

@@ -135,6 +135,14 @@ func Experiments() []Experiment {
 			WriteHetero(w, res)
 			return res, nil
 		}},
+		{Name: "churn", Run: func(o Options, w io.Writer) (any, error) {
+			res, err := Churn(o)
+			if err != nil {
+				return nil, err
+			}
+			WriteChurn(w, res)
+			return res, nil
+		}},
 		{Name: "ablations", Run: func(o Options, w io.Writer) (any, error) {
 			type study struct {
 				title string

@@ -10,7 +10,7 @@ func TestExperimentNamesStable(t *testing.T) {
 	want := []string{
 		"table1", "uniqueorders", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "allreduce", "pipeline", "shootout",
-		"cachepolicy", "hetero", "ablations",
+		"cachepolicy", "hetero", "churn", "ablations",
 	}
 	got := ExperimentNames()
 	if len(got) != len(want) {
@@ -25,7 +25,7 @@ func TestExperimentNamesStable(t *testing.T) {
 
 func TestSelectExperiments(t *testing.T) {
 	all, err := SelectExperiments("all")
-	if err != nil || len(all) != 15 {
+	if err != nil || len(all) != 16 {
 		t.Fatalf("all: %d, %v", len(all), err)
 	}
 	sub, err := SelectExperiments(" fig12 ,fig7")

@@ -29,6 +29,37 @@ type Iteration struct {
 	RecvOrder []string
 	// ReorderEvents counts injected schedule inversions.
 	ReorderEvents int
+	// ActiveWorkers is the number of workers that executed this
+	// iteration's reported run (Config.Workers unless membership events
+	// removed some).
+	ActiveWorkers int
+	// RecoverySeconds is the churn overhead folded into Makespan: wasted
+	// aborted-attempt time plus PS shard reload/resync time. Zero without
+	// membership events.
+	RecoverySeconds float64
+	// Events reports the per-event recovery cost of every membership
+	// event that struck this iteration.
+	Events []EventOutcome
+}
+
+// EventOutcome is the recovery cost of one membership event.
+type EventOutcome struct {
+	// Kind is the event type.
+	Kind EventKind
+	// Worker is the target worker for worker events, -1 otherwise.
+	Worker int
+	// PS is the target shard for PS events, -1 otherwise.
+	PS int
+	// WastedSeconds is the aborted-attempt wall time attributable to this
+	// event (fails only): its fail point times the aborted run's makespan.
+	WastedSeconds float64
+	// ReloadSeconds is the time to re-serve or resync a PS shard's hosted
+	// state over its network link (PS fail and recover events).
+	ReloadSeconds float64
+	// RefetchBytes counts parameter bytes moved to recover: the full
+	// parameter set for a worker fail's re-fetch or a join's cold-start
+	// pull, the shard's hosted bytes for PS events.
+	RefetchBytes int64
 }
 
 // Throughput returns samples/second for this iteration given the per-worker
@@ -101,6 +132,17 @@ type RunOptions struct {
 	Stragglers []Straggler
 	// Contention injects background network-contention windows.
 	Contention []Contention
+	// Events injects deterministic cluster-membership changes (joins,
+	// leaves, mid-iteration failures, PS shard failures/recoveries),
+	// windowed by Iteration like Stragglers. See MembershipEvent and
+	// docs/churn-scenarios.md. An empty slice is bit-identical to the
+	// churn-free path.
+	Events []MembershipEvent
+
+	// timeline is the validated, memoized view of Events. Run builds it
+	// once per experiment; RunIteration builds one on the fly when called
+	// directly with Events set.
+	timeline *Timeline
 }
 
 // costScale folds the straggler and contention windows active at this
@@ -145,6 +187,14 @@ func (c *Cluster) RunIteration(opts RunOptions) (*Iteration, error) {
 			return nil, fmt.Errorf("cluster: straggler worker %d out of range [0, %d)", s.Worker, c.Config.Workers)
 		}
 	}
+	tl := opts.timeline
+	if tl == nil && len(opts.Events) > 0 {
+		var err error
+		tl, err = NewTimeline(c.Config.Workers, c.Config.PS, opts.Events)
+		if err != nil {
+			return nil, err
+		}
+	}
 	jitter := opts.Jitter
 	if jitter < 0 {
 		jitter = c.Config.Platform.Jitter
@@ -153,6 +203,15 @@ func (c *Cluster) RunIteration(opts RunOptions) (*Iteration, error) {
 	if err != nil {
 		return nil, err
 	}
+	if tl == nil || tl.Empty() {
+		return c.runPlainIteration(opts, jitter, runner)
+	}
+	return c.runChurnIteration(opts, tl, jitter, runner)
+}
+
+// runPlainIteration is the churn-free fast path: exactly the pre-membership
+// code, bit-identical in every float.
+func (c *Cluster) runPlainIteration(opts RunOptions, jitter float64, runner *sim.Runner) (*Iteration, error) {
 	res, err := runner.Run(sim.Config{
 		Oracle:      c.oracle(),
 		Schedule:    opts.Schedule,
@@ -169,6 +228,7 @@ func (c *Cluster) RunIteration(opts RunOptions) (*Iteration, error) {
 		RecvOrder:     res.RecvStartOrder[WorkerDevice(0)],
 		ReorderEvents: res.ReorderEvents,
 		WorkerFinish:  make([]float64, 0, c.Config.Workers),
+		ActiveWorkers: c.Config.Workers,
 	}
 	minFinish := res.Makespan
 	for w := 0; w < c.Config.Workers; w++ {
@@ -182,6 +242,138 @@ func (c *Cluster) RunIteration(opts RunOptions) (*Iteration, error) {
 		it.StragglerPct = (res.Makespan - minFinish) / res.Makespan * 100
 	}
 	it.Efficiency = c.iterationEfficiency(res)
+	return it, nil
+}
+
+// abortSeed derives the aborted attempt's RNG stream from the iteration
+// seed — distinct from the reported run's stream (the retry re-draws its
+// noise) yet fully determined by it.
+func abortSeed(seed int64) int64 {
+	return seed*6364136223846793005 + 1442695040888963407
+}
+
+// shardReload is the time to re-serve a shard's hosted bytes over its
+// network link: one transfer setup plus the bytes at channel bandwidth,
+// using the shard device's resolved platform.
+func (c *Cluster) shardReload(ps int, bytes int64) float64 {
+	plat := c.Config.Platform
+	if c.Config.Platforms != nil {
+		plat = c.Config.Platforms.For(PSDevice(ps))
+	}
+	return plat.NetLatency + float64(bytes)/plat.NetBandwidth
+}
+
+// runChurnIteration simulates one iteration under membership events.
+//
+// When a fail strikes this iteration, the fleet's aborted attempt is
+// simulated with the pre-fail membership on a derived seed; the attempt's
+// wall time up to the latest fail point is lost (its in-flight transfers
+// are dropped with it), and the reported run then executes on the post-fail
+// fleet at the iteration's own seed, re-fetching parameters through its
+// recv ops. PS shard failures and recoveries add the shard's reload time.
+// Makespan is the sum of that recovery overhead and the reported run.
+func (c *Cluster) runChurnIteration(opts RunOptions, tl *Timeline, jitter float64, runner *sim.Runner) (*Iteration, error) {
+	st := tl.stateAt(opts.Iteration)
+
+	recovery := 0.0
+	var abortedMakespan float64
+	if st.preActive != nil {
+		probe, err := runner.Run(sim.Config{
+			Oracle:      c.oracle(),
+			Schedule:    opts.Schedule,
+			Seed:        abortSeed(opts.Seed),
+			Jitter:      jitter,
+			ReorderProb: opts.ReorderProb,
+			CostScale:   c.eventCostScale(opts, st.preDegraded),
+			Disabled:    c.membershipMask(st.preActive),
+		})
+		if err != nil {
+			return nil, err
+		}
+		abortedMakespan = probe.Makespan
+		maxPoint := 0.0
+		for _, e := range st.eventsHere {
+			if (e.Kind == WorkerFail || e.Kind == PSShardFail) && e.failPoint() > maxPoint {
+				maxPoint = e.failPoint()
+			}
+		}
+		recovery += maxPoint * abortedMakespan
+	}
+
+	var totalParamBytes int64
+	for _, p := range c.Params {
+		totalParamBytes += p.Bytes
+	}
+	loads := c.PSLoads()
+	events := make([]EventOutcome, 0, len(st.eventsHere))
+	for _, e := range st.eventsHere {
+		out := EventOutcome{Kind: e.Kind, Worker: -1, PS: -1}
+		switch e.Kind {
+		case WorkerJoin:
+			out.Worker = e.Worker
+			out.RefetchBytes = totalParamBytes
+		case WorkerLeave:
+			out.Worker = e.Worker
+		case WorkerFail:
+			out.Worker = e.Worker
+			out.WastedSeconds = e.failPoint() * abortedMakespan
+			out.RefetchBytes = totalParamBytes
+		case PSShardFail:
+			out.PS = e.PS
+			out.WastedSeconds = e.failPoint() * abortedMakespan
+			out.ReloadSeconds = c.shardReload(e.PS, loads[e.PS])
+			out.RefetchBytes = loads[e.PS]
+			recovery += out.ReloadSeconds
+		case PSRecover:
+			out.PS = e.PS
+			out.ReloadSeconds = c.shardReload(e.PS, loads[e.PS])
+			out.RefetchBytes = loads[e.PS]
+			recovery += out.ReloadSeconds
+		}
+		events = append(events, out)
+	}
+
+	res, err := runner.Run(sim.Config{
+		Oracle:      c.oracle(),
+		Schedule:    opts.Schedule,
+		Seed:        opts.Seed,
+		Jitter:      jitter,
+		ReorderProb: opts.ReorderProb,
+		CostScale:   c.eventCostScale(opts, st.degraded),
+		Disabled:    c.membershipMask(st.active),
+	})
+	if err != nil {
+		return nil, err
+	}
+	it := &Iteration{
+		Makespan:        recovery + res.Makespan,
+		RecvOrder:       res.RecvStartOrder[WorkerDevice(0)],
+		ReorderEvents:   res.ReorderEvents,
+		WorkerFinish:    make([]float64, 0, c.Config.Workers),
+		ActiveWorkers:   st.activeN,
+		RecoverySeconds: recovery,
+		Events:          events,
+	}
+	// Straggler effect is measured within the reported run, over the
+	// workers that actually executed it.
+	minFinish := res.Makespan
+	for w := 0; w < c.Config.Workers; w++ {
+		f := res.DeviceFinish[WorkerDevice(w)]
+		it.WorkerFinish = append(it.WorkerFinish, f)
+		if st.active[w] && f < minFinish {
+			minFinish = f
+		}
+	}
+	if res.Makespan > 0 {
+		it.StragglerPct = (res.Makespan - minFinish) / res.Makespan * 100
+	}
+	if st.active[0] {
+		it.Efficiency = c.iterationEfficiency(res)
+	} else {
+		// The reference worker did not run; the efficiency metric is
+		// undefined this iteration. Aggregates skip the sentinel.
+		it.Efficiency = -1
+	}
 	return it, nil
 }
 
@@ -244,12 +436,24 @@ type Outcome struct {
 	// UniqueRecvOrders counts distinct worker-0 parameter arrival orders
 	// across measured iterations (§2.2's uniqueness observation).
 	UniqueRecvOrders int
+	// RecoverySeconds totals the membership-event recovery overhead
+	// (aborted-attempt waste plus shard reloads) across measured
+	// iterations. Zero without membership events.
+	RecoverySeconds float64
 }
 
 // Run executes the experiment protocol against the cluster.
 func (c *Cluster) Run(exp Experiment, opts RunOptions) (*Outcome, error) {
 	if exp.Measure < 1 {
 		return nil, fmt.Errorf("cluster: experiment needs >= 1 measured iteration")
+	}
+	var tl *Timeline
+	if len(opts.Events) > 0 {
+		var err error
+		tl, err = NewTimeline(c.Config.Workers, c.Config.PS, opts.Events)
+		if err != nil {
+			return nil, err
+		}
 	}
 	out := &Outcome{
 		MinEfficiency: 1,
@@ -263,7 +467,8 @@ func (c *Cluster) Run(exp Experiment, opts RunOptions) (*Outcome, error) {
 	for i := 0; i < exp.Warmup+exp.Measure; i++ {
 		iterOpts := opts
 		iterOpts.Seed = opts.Seed + int64(i)*7919 // distinct per-iteration stream
-		iterOpts.Iteration = i                    // straggler/contention windows index off this
+		iterOpts.Iteration = i                    // straggler/contention/membership windows index off this
+		iterOpts.timeline = tl
 		it, err := c.RunIteration(iterOpts)
 		if err != nil {
 			return nil, err
@@ -273,15 +478,19 @@ func (c *Cluster) Run(exp Experiment, opts RunOptions) (*Outcome, error) {
 		}
 		out.Iterations = append(out.Iterations, *it)
 		makespans = append(makespans, it.Makespan)
-		// A chained graph processes batch × iterations samples per worker.
-		throughputs = append(throughputs, it.Throughput(batch*c.Config.iterations(), c.Config.Workers))
-		effs = append(effs, it.Efficiency)
+		// A chained graph processes batch × iterations samples per worker;
+		// only the iteration's active workers contribute samples.
+		throughputs = append(throughputs, it.Throughput(batch*c.Config.iterations(), it.ActiveWorkers))
+		if it.Efficiency >= 0 {
+			effs = append(effs, it.Efficiency)
+			if it.Efficiency < out.MinEfficiency {
+				out.MinEfficiency = it.Efficiency
+			}
+		}
 		if it.StragglerPct > out.MaxStragglerPct {
 			out.MaxStragglerPct = it.StragglerPct
 		}
-		if it.Efficiency < out.MinEfficiency {
-			out.MinEfficiency = it.Efficiency
-		}
+		out.RecoverySeconds += it.RecoverySeconds
 		orders[joinKeys(it.RecvOrder)] = true
 	}
 	out.MeanThroughput = stats.Mean(throughputs)

@@ -1,0 +1,461 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"tictac/internal/model"
+	"tictac/internal/timing"
+)
+
+func churnCluster(t *testing.T, workers, ps int) *Cluster {
+	t.Helper()
+	c, err := Build(smallConfig(workers, ps, model.Training))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTimelineValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		events   []MembershipEvent
+		departed bool
+	}{
+		{"unknown kind", []MembershipEvent{{Kind: "worker_explode", Worker: 1}}, false},
+		{"worker out of range", []MembershipEvent{{Kind: WorkerLeave, Worker: 9}}, false},
+		{"ps out of range", []MembershipEvent{{Kind: PSShardFail, PS: 7}}, false},
+		{"negative iteration", []MembershipEvent{{Kind: WorkerLeave, Worker: 1, Iteration: -1}}, false},
+		{"fail point > 1", []MembershipEvent{{Kind: WorkerFail, Worker: 1, FailPoint: 1.5}}, false},
+		{"degraded factor < 1", []MembershipEvent{{Kind: PSShardFail, PS: 0, DegradedFactor: 0.5}}, false},
+		{"join of active worker", []MembershipEvent{{Kind: WorkerJoin, Worker: 1, Iteration: 1}, {Kind: WorkerJoin, Worker: 1, Iteration: 3}}, false},
+		{"leave of departed worker", []MembershipEvent{{Kind: WorkerLeave, Worker: 1, Iteration: 0}, {Kind: WorkerLeave, Worker: 1, Iteration: 2}}, true},
+		{"fail of departed worker", []MembershipEvent{{Kind: WorkerLeave, Worker: 2, Iteration: 1}, {Kind: WorkerFail, Worker: 2, Iteration: 3}}, true},
+		{"fleet empties", []MembershipEvent{
+			{Kind: WorkerLeave, Worker: 0, Iteration: 0},
+			{Kind: WorkerLeave, Worker: 1, Iteration: 0},
+			{Kind: WorkerLeave, Worker: 2, Iteration: 1},
+			{Kind: WorkerFail, Worker: 3, Iteration: 2},
+		}, false},
+		{"double shard fail", []MembershipEvent{{Kind: PSShardFail, PS: 0, Iteration: 0}, {Kind: PSShardFail, PS: 0, Iteration: 2}}, false},
+		{"recover of healthy shard", []MembershipEvent{{Kind: PSRecover, PS: 1, Iteration: 0}}, false},
+	}
+	for _, tc := range cases {
+		_, err := NewTimeline(4, 2, tc.events)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if got := errors.Is(err, ErrDeparted); got != tc.departed {
+			t.Errorf("%s: errors.Is(ErrDeparted) = %v, want %v (err: %v)", tc.name, got, tc.departed, err)
+		}
+	}
+	if _, err := NewTimeline(4, 2, []MembershipEvent{
+		{Kind: WorkerJoin, Worker: 1, Iteration: 2}, // first event a join: starts inactive
+		{Kind: WorkerFail, Worker: 1, Iteration: 4, FailPoint: 0.25},
+		{Kind: PSShardFail, PS: 1, Iteration: 1, DegradedFactor: 3},
+		{Kind: PSRecover, PS: 1, Iteration: 5},
+	}); err != nil {
+		t.Fatalf("valid sequence rejected: %v", err)
+	}
+}
+
+func TestTimelineActiveAt(t *testing.T) {
+	tl, err := NewTimeline(3, 1, []MembershipEvent{
+		{Kind: WorkerJoin, Worker: 2, Iteration: 2},
+		{Kind: WorkerLeave, Worker: 1, Iteration: 3},
+		{Kind: WorkerFail, Worker: 2, Iteration: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		worker, iter int
+		want         bool
+	}{
+		{0, 0, true}, {1, 0, true}, {2, 0, false},
+		{2, 1, false}, {2, 2, true}, {2, 4, true},
+		{1, 2, true}, {1, 3, false}, {1, 9, false},
+		// A worker failing mid-iteration is excluded from that
+		// iteration's reported run.
+		{2, 5, false}, {2, 6, false},
+	}
+	for _, c := range checks {
+		if got := tl.ActiveAt(c.worker, c.iter); got != c.want {
+			t.Errorf("ActiveAt(%d, %d) = %v, want %v", c.worker, c.iter, got, c.want)
+		}
+	}
+}
+
+func TestEventsDigest(t *testing.T) {
+	if EventsDigest(nil) != "" {
+		t.Fatal("empty event list must digest to the empty string")
+	}
+	base := []MembershipEvent{{Kind: WorkerFail, Worker: 1, Iteration: 2, FailPoint: 0.5}}
+	d := EventsDigest(base)
+	if d == "" {
+		t.Fatal("non-empty events digested empty")
+	}
+	if EventsDigest(base) != d {
+		t.Fatal("digest not deterministic")
+	}
+	variants := [][]MembershipEvent{
+		{{Kind: WorkerLeave, Worker: 1, Iteration: 2, FailPoint: 0.5}},
+		{{Kind: WorkerFail, Worker: 2, Iteration: 2, FailPoint: 0.5}},
+		{{Kind: WorkerFail, Worker: 1, Iteration: 3, FailPoint: 0.5}},
+		{{Kind: WorkerFail, Worker: 1, Iteration: 2, FailPoint: 0.75}},
+		{{Kind: WorkerFail, Worker: 1, Iteration: 2, FailPoint: 0.5}, {Kind: PSRecover, PS: 0, Iteration: 4}},
+	}
+	for i, v := range variants {
+		if EventsDigest(v) == d {
+			t.Errorf("variant %d digests identically to base", i)
+		}
+	}
+}
+
+func TestWorkerLeaveShrinksFleet(t *testing.T) {
+	c := churnCluster(t, 4, 2)
+	out, err := c.Run(Experiment{Warmup: 0, Measure: 4}, RunOptions{
+		Seed:   7,
+		Jitter: -1,
+		Events: []MembershipEvent{{Kind: WorkerLeave, Worker: 3, Iteration: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range out.Iterations {
+		wantActive := 4
+		if i >= 2 {
+			wantActive = 3
+		}
+		if it.ActiveWorkers != wantActive {
+			t.Errorf("iteration %d ActiveWorkers = %d, want %d", i, it.ActiveWorkers, wantActive)
+		}
+		if it.RecoverySeconds != 0 {
+			t.Errorf("iteration %d: clean leave charged recovery %v", i, it.RecoverySeconds)
+		}
+		if i >= 2 && it.WorkerFinish[3] != 0 {
+			t.Errorf("iteration %d: departed worker still finished at %v", i, it.WorkerFinish[3])
+		}
+		if i >= 2 && it.WorkerFinish[0] <= 0 {
+			t.Errorf("iteration %d: surviving worker did not run", i)
+		}
+	}
+	if out.RecoverySeconds != 0 {
+		t.Errorf("outcome recovery = %v, want 0", out.RecoverySeconds)
+	}
+}
+
+func TestWorkerFailChargesRecovery(t *testing.T) {
+	c := churnCluster(t, 4, 2)
+	opts := RunOptions{Seed: 11, Jitter: -1}
+
+	failOpts := opts
+	failOpts.Events = []MembershipEvent{{Kind: WorkerFail, Worker: 1, Iteration: 1, FailPoint: 0.5}}
+	failOut, err := c.Run(Experiment{Warmup: 0, Measure: 3}, failOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A clean leave at the same iteration yields the identical post-event
+	// fleet and the identical reported-run seed stream, so the fail's
+	// makespan must be exactly the leave's plus the recovery overhead.
+	leaveOpts := opts
+	leaveOpts.Events = []MembershipEvent{{Kind: WorkerLeave, Worker: 1, Iteration: 1}}
+	leaveOut, err := c.Run(Experiment{Warmup: 0, Measure: 3}, leaveOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	failIt, leaveIt := failOut.Iterations[1], leaveOut.Iterations[1]
+	if failIt.RecoverySeconds <= 0 {
+		t.Fatalf("fail charged no recovery")
+	}
+	if got, want := failIt.Makespan, leaveIt.Makespan+failIt.RecoverySeconds; got != want {
+		t.Fatalf("fail makespan = %v, want leave makespan + recovery = %v", got, want)
+	}
+	if len(failIt.Events) != 1 {
+		t.Fatalf("events = %+v", failIt.Events)
+	}
+	ev := failIt.Events[0]
+	if ev.Kind != WorkerFail || ev.Worker != 1 || ev.PS != -1 {
+		t.Fatalf("event outcome = %+v", ev)
+	}
+	if ev.WastedSeconds != failIt.RecoverySeconds {
+		t.Fatalf("wasted = %v, recovery = %v", ev.WastedSeconds, failIt.RecoverySeconds)
+	}
+	var totalBytes int64
+	for _, p := range c.Params {
+		totalBytes += p.Bytes
+	}
+	if ev.RefetchBytes != totalBytes {
+		t.Fatalf("refetch bytes = %d, want full parameter set %d", ev.RefetchBytes, totalBytes)
+	}
+	// Iterations before and after the event window match the leave run
+	// exactly (identical fleet, identical streams).
+	if failOut.Iterations[0].Makespan != leaveOut.Iterations[0].Makespan {
+		t.Error("pre-event iteration diverged")
+	}
+	if failOut.Iterations[2].Makespan != leaveOut.Iterations[2].Makespan {
+		t.Error("post-event iteration diverged")
+	}
+	if failOut.RecoverySeconds != failIt.RecoverySeconds {
+		t.Errorf("outcome recovery = %v, want %v", failOut.RecoverySeconds, failIt.RecoverySeconds)
+	}
+}
+
+func TestWorkerJoinColdStart(t *testing.T) {
+	c := churnCluster(t, 4, 2)
+	out, err := c.Run(Experiment{Warmup: 0, Measure: 4}, RunOptions{
+		Seed:   3,
+		Jitter: -1,
+		Events: []MembershipEvent{{Kind: WorkerJoin, Worker: 3, Iteration: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range out.Iterations {
+		wantActive := 3 // first event a join: worker 3 starts absent
+		if i >= 2 {
+			wantActive = 4
+		}
+		if it.ActiveWorkers != wantActive {
+			t.Errorf("iteration %d ActiveWorkers = %d, want %d", i, it.ActiveWorkers, wantActive)
+		}
+	}
+	joinIt := out.Iterations[2]
+	if len(joinIt.Events) != 1 || joinIt.Events[0].Kind != WorkerJoin {
+		t.Fatalf("join iteration events = %+v", joinIt.Events)
+	}
+	var totalBytes int64
+	for _, p := range c.Params {
+		totalBytes += p.Bytes
+	}
+	if joinIt.Events[0].RefetchBytes != totalBytes {
+		t.Fatalf("cold-start refetch = %d, want %d", joinIt.Events[0].RefetchBytes, totalBytes)
+	}
+}
+
+func TestPSShardFailDegradesUntilRecover(t *testing.T) {
+	c := churnCluster(t, 4, 2)
+	base, err := c.Run(Experiment{Warmup: 0, Measure: 5}, RunOptions{Seed: 5, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run(Experiment{Warmup: 0, Measure: 5}, RunOptions{
+		Seed:   5,
+		Jitter: -1,
+		Events: []MembershipEvent{
+			{Kind: PSShardFail, PS: 1, Iteration: 1, DegradedFactor: 4},
+			{Kind: PSRecover, PS: 1, Iteration: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iteration 0 precedes any event: bit-identical to the quiet run.
+	if out.Iterations[0].Makespan != base.Iterations[0].Makespan {
+		t.Error("pre-event iteration diverged from the quiet run")
+	}
+	// Iterations 1–2 run with the shard degraded: strictly slower.
+	for _, i := range []int{1, 2} {
+		if out.Iterations[i].Makespan <= base.Iterations[i].Makespan {
+			t.Errorf("iteration %d with degraded shard (%v) not slower than quiet run (%v)",
+				i, out.Iterations[i].Makespan, base.Iterations[i].Makespan)
+		}
+	}
+	// Iteration 4 is past the recovery: bit-identical to the quiet run
+	// again (same fleet, same seed stream, no degradation).
+	if out.Iterations[4].Makespan != base.Iterations[4].Makespan {
+		t.Error("post-recovery iteration diverged from the quiet run")
+	}
+	// The fail pays waste + reload; the recover pays a resync reload.
+	failEv := out.Iterations[1].Events[0]
+	loads := c.PSLoads()
+	if failEv.WastedSeconds <= 0 || failEv.ReloadSeconds <= 0 {
+		t.Fatalf("fail outcome = %+v", failEv)
+	}
+	if failEv.RefetchBytes != loads[1] {
+		t.Fatalf("fail refetch = %d, want shard bytes %d", failEv.RefetchBytes, loads[1])
+	}
+	recEv := out.Iterations[3].Events[0]
+	if recEv.Kind != PSRecover || recEv.ReloadSeconds <= 0 || recEv.WastedSeconds != 0 {
+		t.Fatalf("recover outcome = %+v", recEv)
+	}
+	wantRecovery := failEv.WastedSeconds + failEv.ReloadSeconds + recEv.ReloadSeconds
+	if out.RecoverySeconds != wantRecovery {
+		t.Fatalf("outcome recovery = %v, want %v", out.RecoverySeconds, wantRecovery)
+	}
+}
+
+func TestChurnRunDeterministic(t *testing.T) {
+	c := churnCluster(t, 4, 2)
+	opts := RunOptions{
+		Seed:        42,
+		Jitter:      -1,
+		ReorderProb: 0.05,
+		Stragglers:  []Straggler{{Worker: 2, Factor: 2, From: 1, Until: 3}},
+		Events: []MembershipEvent{
+			{Kind: WorkerFail, Worker: 1, Iteration: 1, FailPoint: 0.3},
+			{Kind: WorkerJoin, Worker: 1, Iteration: 3},
+			{Kind: PSShardFail, PS: 0, Iteration: 2},
+			{Kind: PSRecover, PS: 0, Iteration: 4},
+		},
+	}
+	a, err := c.Run(Experiment{Warmup: 1, Measure: 4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Run(Experiment{Warmup: 1, Measure: 4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed and events produced different outcomes")
+	}
+}
+
+// TestStragglerComposesWithDeparture pins the satellite contract: an
+// open-ended Straggler{From: N} window targeting a worker that later
+// leaves (or fails) stops mattering the moment the worker departs — the
+// masked replica executes no ops, so iterations after the departure are
+// bit-identical with and without the straggler.
+func TestStragglerComposesWithDeparture(t *testing.T) {
+	c := churnCluster(t, 4, 2)
+	for _, kind := range []EventKind{WorkerLeave, WorkerFail} {
+		events := []MembershipEvent{{Kind: kind, Worker: 2, Iteration: 2}}
+		plain, err := c.Run(Experiment{Warmup: 0, Measure: 4}, RunOptions{
+			Seed: 9, Jitter: -1, Events: events,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		straggled, err := c.Run(Experiment{Warmup: 0, Measure: 4}, RunOptions{
+			Seed: 9, Jitter: -1, Events: events,
+			Stragglers: []Straggler{{Worker: 2, Factor: 5, From: 0}}, // open-ended
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Before the departure the straggler bites.
+		if straggled.Iterations[0].Makespan <= plain.Iterations[0].Makespan {
+			t.Errorf("%s: straggler had no effect while worker 2 was active", kind)
+		}
+		// After it, the worker is gone and the open-ended window is moot.
+		for i := 3; i < 4; i++ {
+			if straggled.Iterations[i].Makespan != plain.Iterations[i].Makespan {
+				t.Errorf("%s: iteration %d with straggler on departed worker diverged (%v vs %v)",
+					kind, i, straggled.Iterations[i].Makespan, plain.Iterations[i].Makespan)
+			}
+		}
+	}
+}
+
+// TestWithPlatformsDerivedChurn pins that a WithPlatforms-derived cluster
+// runs membership events bit-identically to a fresh Build of the same
+// configuration — the derived graph/runner sharing must not leak state
+// across memberships.
+func TestWithPlatformsDerivedChurn(t *testing.T) {
+	base := churnCluster(t, 4, 2)
+	pm := &timing.PlatformMap{
+		Devices: map[string]timing.Platform{
+			WorkerDevice(1): func() timing.Platform {
+				p := timing.EnvG()
+				p.ComputeFLOPS /= 2
+				return p
+			}(),
+		},
+	}
+	derived, err := base.WithPlatforms(timing.EnvG(), pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(4, 2, model.Training)
+	cfg.Platforms = pm
+	fresh, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RunOptions{
+		Seed:   13,
+		Jitter: -1,
+		Events: []MembershipEvent{
+			{Kind: WorkerFail, Worker: 3, Iteration: 1},
+			{Kind: PSShardFail, PS: 0, Iteration: 2, DegradedFactor: 3},
+		},
+	}
+	d, err := derived.Run(Experiment{Warmup: 0, Measure: 3}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fresh.Run(Experiment{Warmup: 0, Measure: 3}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, f) {
+		t.Fatal("derived cluster's churn run diverged from fresh build")
+	}
+	// And the base cluster, run without events afterwards, is untouched:
+	// membership state lives in the per-run timeline, never the Cluster.
+	q1, err := base.Run(Experiment{Warmup: 0, Measure: 2}, RunOptions{Seed: 13, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := base.Run(Experiment{Warmup: 0, Measure: 2}, RunOptions{Seed: 13, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q1, q2) {
+		t.Fatal("quiet runs after churn diverged")
+	}
+}
+
+// TestReferenceWorkerDepartureSentinel pins the efficiency sentinel: when
+// worker 0 (the reference partition) is inactive, Efficiency is -1 and the
+// outcome aggregates skip it.
+func TestReferenceWorkerDepartureSentinel(t *testing.T) {
+	c := churnCluster(t, 3, 1)
+	out, err := c.Run(Experiment{Warmup: 0, Measure: 3}, RunOptions{
+		Seed:   21,
+		Jitter: -1,
+		Events: []MembershipEvent{{Kind: WorkerLeave, Worker: 0, Iteration: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff := out.Iterations[0].Efficiency; eff <= 0 || eff > 1 {
+		t.Fatalf("active-reference iteration efficiency = %v", eff)
+	}
+	for i := 1; i < 3; i++ {
+		if out.Iterations[i].Efficiency != -1 {
+			t.Fatalf("iteration %d efficiency = %v, want -1 sentinel", i, out.Iterations[i].Efficiency)
+		}
+		if len(out.Iterations[i].RecvOrder) != 0 {
+			t.Fatalf("departed reference worker still has a recv order")
+		}
+	}
+	if out.MinEfficiency != out.Iterations[0].Efficiency {
+		t.Fatalf("MinEfficiency = %v includes the sentinel", out.MinEfficiency)
+	}
+	if out.MeanEfficiency != out.Iterations[0].Efficiency {
+		t.Fatalf("MeanEfficiency = %v includes the sentinel", out.MeanEfficiency)
+	}
+}
+
+// TestNoEventsBitIdentical pins that RunOptions.Events == nil and an empty
+// slice run the exact pre-membership code path.
+func TestNoEventsBitIdentical(t *testing.T) {
+	c := churnCluster(t, 3, 2)
+	a, err := c.Run(DefaultExperiment, RunOptions{Seed: 1, Jitter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Run(DefaultExperiment, RunOptions{Seed: 1, Jitter: -1, Events: []MembershipEvent{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("empty Events diverged from nil Events")
+	}
+}

@@ -189,3 +189,45 @@ func BenchmarkClusterRun(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkClusterChurn measures the same protocol under a worst-case
+// membership-event mix (a mid-iteration worker fail with rejoin plus a PS
+// shard fail/recover pair), isolating the overhead of the timeline
+// resolution, the aborted-attempt re-simulation and the masked runs.
+func BenchmarkClusterChurn(b *testing.B) {
+	for _, name := range benchClusterModels {
+		spec, ok := model.ByName(name)
+		if !ok {
+			b.Fatalf("model %q missing from catalog", name)
+		}
+		c, err := Build(Config{
+			Model:    spec,
+			Mode:     model.Training,
+			Workers:  4,
+			PS:       2,
+			Platform: timing.EnvG(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := c.ComputeSchedule("tic", 2, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp := Experiment{Warmup: 2, Measure: 10}
+		events := []MembershipEvent{
+			{Kind: WorkerFail, Worker: 1, Iteration: 3},
+			{Kind: WorkerJoin, Worker: 1, Iteration: 5},
+			{Kind: PSShardFail, PS: 0, Iteration: 6},
+			{Kind: PSRecover, PS: 0, Iteration: 8},
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Run(exp, RunOptions{Schedule: s, Seed: 1, Jitter: -1, Events: events}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

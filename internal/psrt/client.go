@@ -2,8 +2,12 @@ package psrt
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"syscall"
+	"time"
 )
 
 // Client is one worker's connection to a parameter server. It is not safe
@@ -15,18 +19,83 @@ type Client struct {
 	dec    *gob.Decoder
 }
 
-// Dial connects worker `worker` to the server at addr.
+// DialConfig hardens Dial against transient connect failures and stalled
+// peers. The zero value reproduces the plain single-attempt Dial.
+type DialConfig struct {
+	// Retries is how many additional connect attempts may follow a
+	// transient failure (connection refused, reset, or timeout). 0 means a
+	// single attempt; permanent errors never retry.
+	Retries int
+	// Backoff is the delay before the first retry; it doubles on each
+	// subsequent attempt with ±50% jitter. 0 defaults to 10ms.
+	Backoff time.Duration
+	// Seed drives the jitter draws, so retry timing is reproducible in
+	// tests (0 = fixed default stream).
+	Seed int64
+	// DialTimeout bounds each individual connect attempt (0 = OS default).
+	DialTimeout time.Duration
+	// IOTimeout, when > 0, arms a per-Read/Write deadline on the
+	// established connection, so a mid-stream stall surfaces as a timeout
+	// error instead of a worker blocked forever.
+	IOTimeout time.Duration
+}
+
+// Dial connects worker `worker` to the server at addr (single attempt, no
+// deadlines — the zero DialConfig).
 func Dial(addr string, worker int) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("psrt: %w", err)
+	return DialWithConfig(addr, worker, DialConfig{})
+}
+
+// DialWithConfig connects with bounded retry on transient connect errors
+// and optional I/O deadlines on the resulting connection.
+func DialWithConfig(addr string, worker int, cfg DialConfig) (*Client, error) {
+	backoff := cfg.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var conn net.Conn
+	var err error
+	for attempt := 0; ; attempt++ {
+		d := net.Dialer{Timeout: cfg.DialTimeout}
+		conn, err = d.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		if attempt >= cfg.Retries || !transientDialErr(err) {
+			return nil, fmt.Errorf("psrt: %w", err)
+		}
+		time.Sleep(dialBackoff(rng, backoff))
+		backoff *= 2
+	}
+	c := conn
+	if cfg.IOTimeout > 0 {
+		c = timeoutConn{Conn: conn, d: cfg.IOTimeout}
 	}
 	return &Client{
 		worker: worker,
-		conn:   conn,
-		enc:    gob.NewEncoder(conn),
-		dec:    gob.NewDecoder(conn),
+		conn:   c,
+		enc:    gob.NewEncoder(c),
+		dec:    gob.NewDecoder(c),
 	}, nil
+}
+
+// dialBackoff draws one jittered delay in [0.5, 1.5) × step. Pulling the
+// draw out of the retry loop keeps the schedule a pure function of the
+// seed.
+func dialBackoff(rng *rand.Rand, step time.Duration) time.Duration {
+	return time.Duration(float64(step) * (0.5 + rng.Float64()))
+}
+
+// transientDialErr reports whether a connect failure is worth retrying: the
+// peer may simply not be listening yet (refused), dropped the backlog
+// (reset), or the attempt timed out. Address/DNS errors are permanent.
+func transientDialErr(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET)
 }
 
 // Close terminates the connection.

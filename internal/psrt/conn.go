@@ -1,0 +1,29 @@
+package psrt
+
+import (
+	"net"
+	"time"
+)
+
+// timeoutConn arms a fresh deadline before every Read and Write, so a
+// stalled peer surfaces as a timeout error instead of a goroutine blocked
+// forever on a dead TCP stream. A zero duration never wraps — callers gate
+// on d > 0.
+type timeoutConn struct {
+	net.Conn
+	d time.Duration
+}
+
+func (c timeoutConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.d)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c timeoutConn) Write(p []byte) (int, error) {
+	if err := c.Conn.SetWriteDeadline(time.Now().Add(c.d)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}

@@ -1,8 +1,13 @@
 package psrt
 
 import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 // Hardening tests: failure paths and resource lifecycle of the real
@@ -11,6 +16,161 @@ import (
 func TestDialFailsOnDeadAddress(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1", 0); err == nil {
 		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestDialRetriesUntilServerAppears(t *testing.T) {
+	// Reserve a port, release it, and bring a listener up on it only after
+	// the client has started dialing: the first attempts get connection
+	// refused, a retry lands once the listener exists.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		late, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port stolen between release and rebind; the test fails on dial
+		}
+		defer late.Close()
+		if conn, err := late.Accept(); err == nil {
+			defer conn.Close()
+			io.Copy(io.Discard, conn)
+		}
+	}()
+	c, err := DialWithConfig(addr, 0, DialConfig{Retries: 50, Backoff: 10 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatalf("dial never succeeded despite retries: %v", err)
+	}
+	c.Close()
+}
+
+func TestDialGivesUpAfterBoundedRetries(t *testing.T) {
+	start := time.Now()
+	_, err := DialWithConfig("127.0.0.1:1", 0, DialConfig{Retries: 3, Backoff: time.Millisecond, Seed: 1})
+	if err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if !transientDialErr(errors.Unwrap(err)) {
+		t.Fatalf("err = %v, want the transient connect error that exhausted the retries", err)
+	}
+	// 3 retries at 1-2-4ms ±50% jitter stay well under a second; anything
+	// longer means the bound did not hold.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("bounded retry took %v", elapsed)
+	}
+}
+
+func TestDialBackoffDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		var ds []time.Duration
+		step := 10 * time.Millisecond
+		for i := 0; i < 5; i++ {
+			ds = append(ds, dialBackoff(rng, step))
+			step *= 2
+		}
+		return ds
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+		lo := time.Duration(float64(10*time.Millisecond) * 0.5 * float64(int(1)<<i))
+		hi := 3 * lo
+		if a[i] < lo || a[i] >= hi {
+			t.Fatalf("draw %d = %v outside jitter window [%v, %v)", i, a[i], lo, hi)
+		}
+	}
+	if c := draw(8); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatal("different seeds produced the same backoff schedule")
+	}
+}
+
+func TestClientTimesOutOnMidStreamStall(t *testing.T) {
+	// A "server" that accepts and reads but never responds: without an I/O
+	// deadline the pull would block forever.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	}()
+	c, err := DialWithConfig(ln.Addr().String(), 0, DialConfig{IOTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.PullAll(0, []string{"w1"})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var ne net.Error
+		if err == nil || !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("stalled pull returned %v, want a timeout error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pull against a stalled server still blocked after 5s")
+	}
+}
+
+func TestServerDropsSilentClient(t *testing.T) {
+	s, err := Serve(testParams(), ServerConfig{Workers: 1, ConnTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing. The server's read deadline fires and it closes the
+	// connection, which we observe as EOF well before our own deadline.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read returned data from a connection that should have been dropped")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server kept the silent connection open past its ConnTimeout")
+	}
+}
+
+func TestServerConnTimeoutLeavesFastExchangeIntact(t *testing.T) {
+	s, err := Serve(testParams(), ServerConfig{Workers: 1, LR: 1, ConnTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := DialWithConfig(s.Addr(), 0, DialConfig{IOTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.PullAll(0, []string{"w1", "b1", "w2", "b2"}); err != nil {
+		t.Fatalf("pull under deadlines: %v", err)
+	}
+	if err := c.PushAll(0, map[string][]float32{
+		"w1": make([]float32, 3), "b1": make([]float32, 1),
+		"w2": make([]float32, 2), "b2": make([]float32, 1),
+	}); err != nil {
+		t.Fatalf("push under deadlines: %v", err)
+	}
+	if err := c.Sync(0); err != nil {
+		t.Fatalf("sync under deadlines: %v", err)
 	}
 }
 

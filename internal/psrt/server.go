@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"tictac/internal/core"
 )
@@ -37,6 +38,12 @@ type ServerConfig struct {
 	// follows OS accept order and is not reproducible run-to-run (the
 	// aggregate inversion rate is unaffected).
 	ReorderSeed int64
+	// ConnTimeout, when > 0, arms a per-Read/Write deadline on every
+	// accepted connection: a client that goes silent (or stops draining its
+	// transfers) for longer than this is dropped instead of pinning a
+	// serving goroutine forever. Long synchronization barriers count as
+	// silence, so set it above the longest expected iteration gap.
+	ConnTimeout time.Duration
 }
 
 // Server hosts parameters, aggregates gradients and serves pulls over TCP.
@@ -191,6 +198,10 @@ type pendingResponses struct {
 func (s *Server) handleConn(conn net.Conn, id int64) {
 	defer s.wg.Done()
 	defer conn.Close()
+	stream := conn
+	if s.cfg.ConnTimeout > 0 {
+		stream = timeoutConn{Conn: conn, d: s.cfg.ConnTimeout}
+	}
 	pending := &pendingResponses{
 		byParam:   make(map[string]*message),
 		sentEarly: make(map[string]bool),
@@ -204,14 +215,14 @@ func (s *Server) handleConn(conn net.Conn, id int64) {
 	}()
 
 	// Writer: dequeues responses in enforced order and encodes them.
-	enc := gob.NewEncoder(conn)
+	enc := gob.NewEncoder(stream)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		s.writeLoop(enc, pending, id)
 	}()
 
-	dec := gob.NewDecoder(conn)
+	dec := gob.NewDecoder(stream)
 	for {
 		var msg message
 		if err := dec.Decode(&msg); err != nil {

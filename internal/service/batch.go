@@ -62,6 +62,9 @@ type BatchVariant struct {
 	// (an explicit empty list clears them).
 	Stragglers *[]StragglerSpec  `json:"stragglers,omitempty"`
 	Contention *[]ContentionSpec `json:"contention,omitempty"`
+	// Membership REPLACES the base membership-event script when present
+	// (an explicit empty list clears back to a static fleet).
+	Membership *[]MembershipEventSpec `json:"membership,omitempty"`
 }
 
 // apply layers the variant's deltas over the base spec.
@@ -99,6 +102,9 @@ func (v BatchVariant) apply(base WorkloadSpec) WorkloadSpec {
 	}
 	if v.Contention != nil {
 		spec.Contention = *v.Contention
+	}
+	if v.Membership != nil {
+		spec.Membership = *v.Membership
 	}
 	return spec
 }

@@ -35,6 +35,11 @@ const (
 	// CodeBatchTooLarge is returned when a batch carries more variants than
 	// the configured maximum (Options.MaxBatch, -max-batch).
 	CodeBatchTooLarge = "batch_too_large"
+	// CodeDepartedWorker rejects a workload whose membership events or
+	// injection windows reference a worker that is not active where the
+	// spec needs it: a leave/fail of an already-departed worker, or a
+	// straggler window that never overlaps its worker's active iterations.
+	CodeDepartedWorker = "departed_worker"
 	// CodeInternal is the server-fault catch-all.
 	CodeInternal = "internal"
 )

@@ -146,18 +146,25 @@ type SimulateResult struct {
 	GraphDigest    string `json:"graph_digest"`
 	PlatformDigest string `json:"platform_digest"`
 	ScheduleDigest string `json:"schedule_digest"`
+	// MembershipDigest fingerprints the workload's membership events
+	// (empty for a static fleet).
+	MembershipDigest string `json:"membership_digest"`
 
 	WarmupIterations  int `json:"warmup_iterations"`
 	MeasureIterations int `json:"measure_iterations"`
 
-	MeanMakespan     float64   `json:"mean_makespan_seconds"`
-	MeanThroughput   float64   `json:"mean_throughput_samples_per_second"`
-	MaxStragglerPct  float64   `json:"max_straggler_pct"`
-	MeanEfficiency   float64   `json:"mean_efficiency"`
-	MinEfficiency    float64   `json:"min_efficiency"`
-	UniqueRecvOrders int       `json:"unique_recv_orders"`
-	ReorderEvents    int       `json:"reorder_events"`
-	Makespans        []float64 `json:"makespans_seconds"`
+	MeanMakespan   float64 `json:"mean_makespan_seconds"`
+	MeanThroughput float64 `json:"mean_throughput_samples_per_second"`
+	// RecoverySecondsTotal is the membership-event recovery overhead
+	// (lost work, shard reloads) summed over the measured iterations; it
+	// is already included in the makespans.
+	RecoverySecondsTotal float64   `json:"recovery_seconds_total"`
+	MaxStragglerPct      float64   `json:"max_straggler_pct"`
+	MeanEfficiency       float64   `json:"mean_efficiency"`
+	MinEfficiency        float64   `json:"min_efficiency"`
+	UniqueRecvOrders     int       `json:"unique_recv_orders"`
+	ReorderEvents        int       `json:"reorder_events"`
+	Makespans            []float64 `json:"makespans_seconds"`
 }
 
 // SimulateResponse is the body of POST /v1/simulate.
@@ -179,30 +186,33 @@ func computeSimulateResult(ce *clusterEntry, e *scheduleEntry, r resolved) (Simu
 		ReorderProb: r.reorderProb,
 		Stragglers:  r.stragglers,
 		Contention:  r.contention,
+		Events:      r.events,
 	})
 	if err != nil {
 		return SimulateResult{}, fmt.Errorf("simulate: %w", err)
 	}
 	result := SimulateResult{
-		Model:             e.result.Model,
-		Mode:              e.result.Mode,
-		Workers:           e.result.Workers,
-		PS:                e.result.PS,
-		Env:               e.result.Env,
-		Policy:            e.result.Policy,
-		Seed:              r.seed,
-		GraphDigest:       e.result.GraphDigest,
-		PlatformDigest:    e.result.PlatformDigest,
-		ScheduleDigest:    e.result.ScheduleDigest,
-		WarmupIterations:  r.warmupIters,
-		MeasureIterations: r.measureIters,
-		MeanMakespan:      out.MeanMakespan,
-		MeanThroughput:    out.MeanThroughput,
-		MaxStragglerPct:   out.MaxStragglerPct,
-		MeanEfficiency:    out.MeanEfficiency,
-		MinEfficiency:     out.MinEfficiency,
-		UniqueRecvOrders:  out.UniqueRecvOrders,
-		Makespans:         make([]float64, 0, len(out.Iterations)),
+		Model:                e.result.Model,
+		Mode:                 e.result.Mode,
+		Workers:              e.result.Workers,
+		PS:                   e.result.PS,
+		Env:                  e.result.Env,
+		Policy:               e.result.Policy,
+		Seed:                 r.seed,
+		GraphDigest:          e.result.GraphDigest,
+		PlatformDigest:       e.result.PlatformDigest,
+		ScheduleDigest:       e.result.ScheduleDigest,
+		MembershipDigest:     r.membershipDigest,
+		WarmupIterations:     r.warmupIters,
+		MeasureIterations:    r.measureIters,
+		MeanMakespan:         out.MeanMakespan,
+		MeanThroughput:       out.MeanThroughput,
+		RecoverySecondsTotal: out.RecoverySeconds,
+		MaxStragglerPct:      out.MaxStragglerPct,
+		MeanEfficiency:       out.MeanEfficiency,
+		MinEfficiency:        out.MinEfficiency,
+		UniqueRecvOrders:     out.UniqueRecvOrders,
+		Makespans:            make([]float64, 0, len(out.Iterations)),
 	}
 	for _, it := range out.Iterations {
 		result.Makespans = append(result.Makespans, it.Makespan)

@@ -43,6 +43,15 @@ type LoadOptions struct {
 	// compared byte-for-byte against the equivalent single /v1/simulate
 	// response — any divergence is a mismatch.
 	Batches int
+	// ChurnProbes is the number of membership-churn probes mixed into the
+	// load (default 2; negative disables). Each probe fires one workload
+	// quiet and again with a membership mutation (a mid-iteration worker
+	// fail, a PS shard fail, a rejoin) and asserts zero stale responses:
+	// the mutated workload's payload must match a direct library
+	// recomputation on the new fleet timeline, its membership digest must
+	// diverge from the quiet one, and the quiet workload must keep
+	// serving its original bytes after the mutation.
+	ChurnProbes int
 	// CheckErrors enables the error-injection probes: deliberately broken
 	// requests asserting that every failure path returns the structured
 	// envelope with its documented status and stable code.
@@ -74,6 +83,12 @@ func (o LoadOptions) withDefaults() LoadOptions {
 	if o.Batches < 0 {
 		o.Batches = 0
 	}
+	if o.ChurnProbes == 0 {
+		o.ChurnProbes = 2
+	}
+	if o.ChurnProbes < 0 {
+		o.ChurnProbes = 0
+	}
 	if o.Client == nil {
 		o.Client = &http.Client{Timeout: 30 * time.Second}
 	}
@@ -100,6 +115,12 @@ type LoadReport struct {
 	BatchVariants   int `json:"batch_variants"`
 	BatchMismatches int `json:"batch_mismatches"`
 	BatchFailures   int `json:"batch_failures"`
+	// Churn probes: membership mutations mid-load. ChurnStale counts
+	// byte-wrong responses around a mutation — the schedule-invalidation
+	// contract violation; ChurnFailures are probe transport/setup errors.
+	ChurnProbes   int `json:"churn_probes"`
+	ChurnStale    int `json:"churn_stale"`
+	ChurnFailures int `json:"churn_failures"`
 	// Error-injection probes: count run, failures (wrong status or code),
 	// and what went wrong.
 	ErrorChecks        int      `json:"error_checks"`
@@ -126,6 +147,12 @@ func (r *LoadReport) Err() error {
 	}
 	if r.BatchMismatches > 0 {
 		return fmt.Errorf("loadtest: %d batch variants diverged from their /v1/simulate twin", r.BatchMismatches)
+	}
+	if r.ChurnFailures > 0 {
+		return fmt.Errorf("loadtest: %d/%d churn probes failed", r.ChurnFailures, r.ChurnProbes)
+	}
+	if r.ChurnStale > 0 {
+		return fmt.Errorf("loadtest: %d stale responses served across a membership change", r.ChurnStale)
 	}
 	if len(r.ErrorCheckFailures) > 0 {
 		return fmt.Errorf("loadtest: %d/%d error probes failed: %s",
@@ -192,12 +219,15 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		Concurrency:     opts.Concurrency,
 		DistinctConfigs: len(items),
 		BatchRequests:   opts.Batches,
+		ChurnProbes:     opts.ChurnProbes,
 	}
 	var failures, mismatches, cached atomic.Int64
 	var batchVariants, batchMismatches, batchFailures atomic.Int64
+	var churnStale, churnFailures atomic.Int64
 	lat := stats.NewLatencyRecorder(opts.Requests)
 	// Indices [0, Requests) are schedule requests; [Requests,
-	// Requests+Batches) are batch requests, interleaved into the feed.
+	// Requests+Batches) are batch requests and [Requests+Batches,
+	// Requests+Batches+ChurnProbes) churn probes, interleaved into the feed.
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -206,6 +236,14 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
+				if i >= opts.Requests+opts.Batches {
+					stale, err := runChurnProbe(opts, int64(i-opts.Requests-opts.Batches))
+					churnStale.Add(int64(stale))
+					if err != nil {
+						churnFailures.Add(1)
+					}
+					continue
+				}
 				if i >= opts.Requests {
 					vars, miss, err := runBatchProbe(opts, int64(i-opts.Requests))
 					batchVariants.Add(int64(vars))
@@ -230,9 +268,10 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 			}
 		}()
 	}
+	extras := opts.Batches + opts.ChurnProbes
 	stride := opts.Requests
-	if opts.Batches > 0 {
-		stride = opts.Requests / opts.Batches
+	if extras > 0 {
+		stride = opts.Requests / extras
 		if stride < 1 {
 			stride = 1
 		}
@@ -240,12 +279,12 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	sent := 0
 	for i := 0; i < opts.Requests; i++ {
 		indices <- i
-		if opts.Batches > 0 && (i+1)%stride == 0 && sent < opts.Batches {
+		if extras > 0 && (i+1)%stride == 0 && sent < extras {
 			indices <- opts.Requests + sent
 			sent++
 		}
 	}
-	for ; sent < opts.Batches; sent++ {
+	for ; sent < extras; sent++ {
 		indices <- opts.Requests + sent
 	}
 	close(indices)
@@ -257,6 +296,8 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	report.BatchVariants = int(batchVariants.Load())
 	report.BatchMismatches = int(batchMismatches.Load())
 	report.BatchFailures = int(batchFailures.Load())
+	report.ChurnStale = int(churnStale.Load())
+	report.ChurnFailures = int(churnFailures.Load())
 	report.Latency = lat.Snapshot()
 
 	if opts.CheckErrors {
@@ -352,6 +393,113 @@ func runBatchProbe(opts LoadOptions, b int64) (vars, mismatches int, err error) 
 	return vars, mismatches, nil
 }
 
+// churnProbeSpecs builds probe k's workload pair: the same spec quiet and
+// with a membership mutation (a mid-iteration worker fail, a PS shard
+// fail, a rejoin), rotating the struck worker and shard across probes.
+func churnProbeSpecs(opts LoadOptions, k int64) (quiet, churn WorkloadSpec) {
+	quiet = WorkloadSpec{
+		Model:             opts.Models[0],
+		Policy:            opts.Policies[0],
+		Workers:           4,
+		PS:                2,
+		Seed:              opts.Seed + 97*k,
+		MeasureIterations: 4,
+	}
+	churn = quiet
+	w := 1 + int(k%3)
+	churn.Membership = []MembershipEventSpec{
+		{Kind: "worker_fail", Worker: w, Iteration: 1},
+		{Kind: "ps_shard_fail", PS: int(k % 2), Iteration: 2},
+		{Kind: "worker_join", Worker: w, Iteration: 3},
+	}
+	return quiet, churn
+}
+
+// directSimulate computes the reference simulate payload for a spec
+// through the exact code path the server's handlers use (resolve →
+// cluster.Build → computeScheduleResult → computeSimulateResult).
+func directSimulate(spec WorkloadSpec) (SimulateResult, []byte, error) {
+	res, err := ScheduleRequest{WorkloadSpec: spec}.resolve()
+	if err != nil {
+		return SimulateResult{}, nil, err
+	}
+	c, err := cluster.Build(res.cfg)
+	if err != nil {
+		return SimulateResult{}, nil, err
+	}
+	ce := &clusterEntry{c: c, graphDigest: core.GraphDigest(c.Graph), platformDigest: res.key.platformDigest}
+	e, err := computeScheduleResult(ce, res)
+	if err != nil {
+		return SimulateResult{}, nil, err
+	}
+	result, err := computeSimulateResult(ce, e, res)
+	if err != nil {
+		return SimulateResult{}, nil, err
+	}
+	payload, err := json.Marshal(result)
+	return result, payload, err
+}
+
+// runChurnProbe kills a worker and a PS shard mid-protocol on a workload
+// the server has already cached quiet, and holds the server to the
+// schedule-invalidation contract: the mutated workload's response must
+// match a direct library recomputation on the new fleet timeline (its
+// membership digest diverging from the quiet one), and the quiet workload
+// must keep serving its original bytes after the mutation. Returns the
+// count of byte-wrong (stale) responses plus any transport/setup error.
+func runChurnProbe(opts LoadOptions, k int64) (stale int, err error) {
+	quiet, churn := churnProbeSpecs(opts, k)
+	quietRes, quietWant, err := directSimulate(quiet)
+	if err != nil {
+		return 0, fmt.Errorf("churn probe reference (quiet): %w", err)
+	}
+	churnRes, churnWant, err := directSimulate(churn)
+	if err != nil {
+		return 0, fmt.Errorf("churn probe reference (churn): %w", err)
+	}
+	if churnRes.MembershipDigest == quietRes.MembershipDigest {
+		return 0, fmt.Errorf("churn probe: membership digest did not diverge")
+	}
+	if bytes.Equal(churnWant, quietWant) {
+		return 0, fmt.Errorf("churn probe: churn payload identical to quiet payload")
+	}
+	check := func(spec WorkloadSpec, want []byte) error {
+		status, payload, err := postJSON(opts.Client, opts.Target+"/v1/simulate", SimulateRequest{WorkloadSpec: spec})
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("churn probe simulate status %d: %s", status, payload)
+		}
+		var sr struct {
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(payload, &sr); err != nil {
+			return err
+		}
+		var got bytes.Buffer
+		if err := json.Compact(&got, sr.Result); err != nil {
+			return err
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			stale++
+		}
+		return nil
+	}
+	// Warm the quiet slot, mutate membership, then re-check both sides: a
+	// stale hit in either direction — the churn request served the quiet
+	// schedule, or the quiet request poisoned by the churn entry — counts.
+	for _, step := range []struct {
+		spec WorkloadSpec
+		want []byte
+	}{{quiet, quietWant}, {churn, churnWant}, {quiet, quietWant}, {churn, churnWant}} {
+		if err := check(step.spec, step.want); err != nil {
+			return stale, err
+		}
+	}
+	return stale, nil
+}
+
 // runErrorChecks fires deliberately broken requests and asserts each comes
 // back with its documented HTTP status and stable error code.
 func runErrorChecks(opts LoadOptions) (checks int, failed []string) {
@@ -391,6 +539,25 @@ func runErrorChecks(opts LoadOptions) (checks int, failed []string) {
 
 	st, body, err = post("/v1/batch", BatchRequest{Workload: &WorkloadSpec{Model: opts.Models[0]}})
 	expect("empty batch", http.StatusBadRequest, CodeBadRequest, st, body, err)
+
+	st, body, err = post("/v1/schedule", ScheduleRequest{WorkloadSpec: WorkloadSpec{
+		Model: opts.Models[0], Workers: 2,
+		Membership: []MembershipEventSpec{
+			{Kind: "worker_leave", Worker: 1, Iteration: 0},
+			{Kind: "worker_fail", Worker: 1, Iteration: 1},
+		}}})
+	expect("departed worker", http.StatusBadRequest, CodeDepartedWorker, st, body, err)
+
+	st, body, err = post("/v1/simulate", SimulateRequest{WorkloadSpec: WorkloadSpec{
+		Model: opts.Models[0], Workers: 2,
+		Membership: []MembershipEventSpec{{Kind: "worker_leave", Worker: 1, Iteration: 0}},
+		Stragglers: []StragglerSpec{{Worker: 1, Factor: 2}}}})
+	expect("straggler on departed worker", http.StatusBadRequest, CodeDepartedWorker, st, body, err)
+
+	st, body, err = post("/v1/schedule", ScheduleRequest{WorkloadSpec: WorkloadSpec{
+		Model: opts.Models[0], Workers: 2,
+		Membership: []MembershipEventSpec{{Kind: "meteor", Worker: 1}}}})
+	expect("unknown membership kind", http.StatusBadRequest, CodeBadRequest, st, body, err)
 
 	if opts.BatchLimit > 0 {
 		over := BatchRequest{Workload: &WorkloadSpec{Model: opts.Models[0]}}

@@ -2,6 +2,8 @@ package service
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -61,12 +63,14 @@ func TestRunLoadAgainstInProcessServer(t *testing.T) {
 	}
 	// Schedule builds: 2 for the 60-request schedule load (one per distinct
 	// config), plus 3 for the batch mix — its 4 probes use seeds 1..4 on the
-	// AlexNet config, and seed 1 coincides with the schedule load's slot.
-	if report.ServerScheduleBuilds != 5 {
-		t.Errorf("server built %d schedules, want 5 (2 load configs + 3 new batch seeds)", report.ServerScheduleBuilds)
+	// AlexNet config, and seed 1 coincides with the schedule load's slot —
+	// plus 4 for the churn mix: 2 probes, each with a quiet and a mutated
+	// fleet under distinct seeds.
+	if report.ServerScheduleBuilds != 9 {
+		t.Errorf("server built %d schedules, want 9 (2 load configs + 3 new batch seeds + 4 churn workloads)", report.ServerScheduleBuilds)
 	}
-	if report.ServerCacheHitRate <= 0.9 {
-		t.Errorf("server cache hit rate = %v, want > 0.9 for 60 requests / 2 configs", report.ServerCacheHitRate)
+	if report.ServerCacheHitRate <= 0.85 {
+		t.Errorf("server cache hit rate = %v, want > 0.85 for 60 requests / 2 configs plus probes", report.ServerCacheHitRate)
 	}
 	if report.CachedResponses == 0 {
 		t.Error("no response reported cached=true")
@@ -83,12 +87,62 @@ func TestRunLoadAgainstInProcessServer(t *testing.T) {
 		t.Errorf("batch mismatches/failures = %d/%d, want 0/0", report.BatchMismatches, report.BatchFailures)
 	}
 	// Error-injection probes all asserted their documented status + code.
-	if report.ErrorChecks != 7 || len(report.ErrorCheckFailures) != 0 {
-		t.Errorf("error checks = %d (failures %v), want 7 clean probes", report.ErrorChecks, report.ErrorCheckFailures)
+	if report.ErrorChecks != 10 || len(report.ErrorCheckFailures) != 0 {
+		t.Errorf("error checks = %d (failures %v), want 10 clean probes", report.ErrorChecks, report.ErrorCheckFailures)
+	}
+	// Churn probes mutated the fleet mid-load; no response may be stale.
+	if report.ChurnProbes != 2 || report.ChurnStale != 0 || report.ChurnFailures != 0 {
+		t.Errorf("churn probes/stale/failures = %d/%d/%d, want 2/0/0",
+			report.ChurnProbes, report.ChurnStale, report.ChurnFailures)
 	}
 	_, schedBuilds := svc.BuildCounts()
-	if schedBuilds != 5 {
-		t.Errorf("service built %d schedules, want 5", schedBuilds)
+	if schedBuilds != 9 {
+		t.Errorf("service built %d schedules, want 9", schedBuilds)
+	}
+}
+
+// TestRunLoadChurnProbeCatchesStaleServer points the churn probe at a
+// server that silently drops membership events from every simulate request
+// — the cache-keying bug the probe exists to catch (a schedule computed
+// for the old fleet served after the fleet changed). Every mutated-fleet
+// response comes back with the quiet fleet's bytes and must be counted
+// stale.
+func TestRunLoadChurnProbeCatchesStaleServer(t *testing.T) {
+	svc := New(Options{})
+	inner := svc.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/simulate" {
+			var req SimulateRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err == nil {
+				req.Membership = nil
+				body, _ := json.Marshal(req)
+				r = r.Clone(r.Context())
+				r.Body = io.NopCloser(bytes.NewReader(body))
+				r.ContentLength = int64(len(body))
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	report, err := RunLoad(LoadOptions{
+		Target:      ts.URL,
+		Requests:    2,
+		Concurrency: 1,
+		Models:      []string{"AlexNet v2"},
+		Policies:    []string{"tic"},
+		Batches:     -1,
+		ChurnProbes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ChurnProbes != 1 || report.ChurnStale == 0 {
+		t.Errorf("churn probes/stale = %d/%d, want 1 probe with stale responses flagged",
+			report.ChurnProbes, report.ChurnStale)
+	}
+	if report.Err() == nil {
+		t.Error("report.Err() = nil despite stale responses across a membership change")
 	}
 }
 

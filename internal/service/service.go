@@ -18,8 +18,9 @@
 //
 // Two content-addressed caches (internal/cache: sharded LRU + singleflight)
 // sit under the handlers. Clusters are cached by (graph shape, platform
-// digest); schedules by (graph digest, platform digest, policy, warmup,
-// seed) — the digest keying means two requests share a slot exactly when
+// digest, membership digest); schedules by (graph digest, platform digest,
+// membership digest, policy, warmup, seed) — the digest keying means two
+// requests share a slot exactly when
 // they are semantically identical, however they were phrased (e.g.
 // batch_factor 0 and 1 resolve to the same graph, and an empty overrides
 // object resolves to the homogeneous platform). Concurrent identical
@@ -118,13 +119,18 @@ type clusterEntry struct {
 }
 
 // scheduleKey is the schedule-cache key mandated by the determinism
-// contract: content digests, not request phrasing.
+// contract: content digests, not request phrasing. membershipDigest is ""
+// for churn-free requests; any membership change produces a new digest and
+// therefore a new slot, so a schedule (and its predicted makespan, which
+// reflects the fleet timeline) can never be served stale across a
+// membership change.
 type scheduleKey struct {
-	graphDigest    string
-	platformDigest string
-	policy         string
-	warmup         int
-	seed           int64
+	graphDigest      string
+	platformDigest   string
+	membershipDigest string
+	policy           string
+	warmup           int
+	seed             int64
 }
 
 // scheduleEntry is a computed schedule plus its canonical response payload.
@@ -278,6 +284,10 @@ type ScheduleResult struct {
 	GraphDigest    string `json:"graph_digest"`
 	PlatformDigest string `json:"platform_digest"`
 	ScheduleDigest string `json:"schedule_digest"`
+	// MembershipDigest fingerprints the workload's membership events
+	// (empty for a static fleet); it diverges the moment the planned churn
+	// differs, so clients can assert they were not served a stale schedule.
+	MembershipDigest string `json:"membership_digest"`
 
 	Algorithm string         `json:"algorithm"`
 	Transfers int            `json:"transfers"`
@@ -298,7 +308,10 @@ func computeScheduleResult(ce *clusterEntry, r resolved) (*scheduleEntry, error)
 	if err != nil {
 		return nil, err
 	}
-	it, err := ce.c.RunIteration(cluster.RunOptions{Schedule: sc, Seed: r.seed, Jitter: 0})
+	// The predicted makespan reflects the fleet's iteration-0 timeline:
+	// membership events striking iteration 0 (an initially-absent worker, a
+	// failed shard) change the prediction, not just the digest.
+	it, err := ce.c.RunIteration(cluster.RunOptions{Schedule: sc, Seed: r.seed, Jitter: 0, Events: r.events})
 	if err != nil {
 		return nil, err
 	}
@@ -313,6 +326,7 @@ func computeScheduleResult(ce *clusterEntry, r resolved) (*scheduleEntry, error)
 		GraphDigest:       ce.graphDigest,
 		PlatformDigest:    ce.platformDigest,
 		ScheduleDigest:    core.ScheduleDigest(sc),
+		MembershipDigest:  r.membershipDigest,
 		Algorithm:         string(core.AlgoNone),
 		Order:             []string{},
 		Rank:              map[string]int{},
@@ -336,11 +350,12 @@ func computeScheduleResult(ce *clusterEntry, r resolved) (*scheduleEntry, error)
 // variants coalesce onto one schedule computation.
 func (s *Service) scheduleFor(ce *clusterEntry, r resolved) (*scheduleEntry, cache.Outcome, error) {
 	key := scheduleKey{
-		graphDigest:    ce.graphDigest,
-		platformDigest: ce.platformDigest,
-		policy:         r.policy,
-		warmup:         r.warmup,
-		seed:           r.seed,
+		graphDigest:      ce.graphDigest,
+		platformDigest:   ce.platformDigest,
+		membershipDigest: r.membershipDigest,
+		policy:           r.policy,
+		warmup:           r.warmup,
+		seed:             r.seed,
 	}
 	return s.schedules.Do(key, func() (*scheduleEntry, error) {
 		s.scheduleBuilds.Add(1)

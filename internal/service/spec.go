@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -71,6 +72,13 @@ type WorkloadSpec struct {
 	// iterations; Contention slows every transfer for a window.
 	Stragglers []StragglerSpec  `json:"stragglers,omitempty"`
 	Contention []ContentionSpec `json:"contention,omitempty"`
+	// Membership scripts deterministic fleet changes over the experiment
+	// protocol (worker joins/leaves/fails, PS shard fail/recover). The
+	// event sequence is validated up front — an invalid grammar is a 400,
+	// and events referencing a departed worker are a departed_worker error
+	// — and its content digest is folded into every cache key and response,
+	// so a membership change can never be served a stale schedule.
+	Membership []MembershipEventSpec `json:"membership,omitempty"`
 }
 
 // PlatformOverrides is the wire form of a heterogeneous cost model: named
@@ -125,6 +133,23 @@ type ContentionSpec struct {
 	Until  int     `json:"until,omitempty"`
 }
 
+// MembershipEventSpec is the wire form of cluster.MembershipEvent: one
+// scripted fleet change. Kind is one of worker_join, worker_leave,
+// worker_fail, ps_shard_fail, ps_recover; the event grammar (documented in
+// docs/churn-scenarios.md) is validated by cluster.NewTimeline.
+type MembershipEventSpec struct {
+	Kind      string `json:"kind"`
+	Worker    int    `json:"worker,omitempty"`
+	PS        int    `json:"ps,omitempty"`
+	Iteration int    `json:"iteration,omitempty"`
+	// FailPoint is the fraction of the failed iteration lost to a
+	// worker_fail / ps_shard_fail, in (0, 1]; 0 selects the default 0.5.
+	FailPoint float64 `json:"fail_point,omitempty"`
+	// DegradedFactor slows ops touching a failed shard's parameters until
+	// recovery (>= 1); 0 selects the default 2.
+	DegradedFactor float64 `json:"degraded_factor,omitempty"`
+}
+
 // clusterKey is the comparable cluster-cache key derived from a resolved
 // spec. cluster.Config itself can no longer key the cache: with
 // heterogeneous overrides it carries a *timing.PlatformMap, which would
@@ -138,6 +163,12 @@ type clusterKey struct {
 	iterations     int
 	sharedPSNIC    bool
 	platformDigest string
+	// membershipDigest is cluster.EventsDigest of the spec's membership
+	// events ("" when there are none, keeping churn-free keys identical to
+	// their pre-membership form). Folding it in here means a membership
+	// change moves the request to a fresh cache slot — the cache can never
+	// serve a schedule computed for a different fleet timeline.
+	membershipDigest string
 }
 
 // resolved is a validated, normalized spec: the exact cluster build
@@ -158,6 +189,9 @@ type resolved struct {
 	reorderProb  float64
 	stragglers   []cluster.Straggler
 	contention   []cluster.Contention
+	events       []cluster.MembershipEvent
+	// membershipDigest is cluster.EventsDigest(events) ("" without events).
+	membershipDigest string
 }
 
 // resolve validates the spec and normalizes it into a build configuration
@@ -259,6 +293,50 @@ func (spec WorkloadSpec) resolve() (resolved, error) {
 		}
 		r.contention = append(r.contention, cluster.Contention{Factor: cn.Factor, From: cn.From, Until: cn.Until})
 	}
+	for _, me := range spec.Membership {
+		r.events = append(r.events, cluster.MembershipEvent{
+			Kind:           cluster.EventKind(strings.ToLower(strings.TrimSpace(me.Kind))),
+			Worker:         me.Worker,
+			PS:             me.PS,
+			Iteration:      me.Iteration,
+			FailPoint:      me.FailPoint,
+			DegradedFactor: me.DegradedFactor,
+		})
+	}
+	if len(r.events) > 0 {
+		tl, err := cluster.NewTimeline(workers, ps, r.events)
+		if err != nil {
+			if errors.Is(err, cluster.ErrDeparted) {
+				return r, codeErr(http.StatusBadRequest, CodeDepartedWorker, "membership: %v", err)
+			}
+			return r, badRequest("membership: %v", err)
+		}
+		// A straggler window that never overlaps its worker's active
+		// iterations references a departed worker: the spec asks to slow a
+		// machine that is not in the fleet when the window is open.
+		total := r.warmupIters + r.measureIters
+		for i, st := range r.stragglers {
+			from, until := st.From, st.Until
+			if from < 0 {
+				from = 0
+			}
+			if until <= st.From || until > total {
+				until = total
+			}
+			overlaps := false
+			for it := from; it < until; it++ {
+				if tl.ActiveAt(st.Worker, it) {
+					overlaps = true
+					break
+				}
+			}
+			if !overlaps {
+				return r, codeErr(http.StatusBadRequest, CodeDepartedWorker,
+					"stragglers[%d] targets worker %d, which is never active during the window", i, st.Worker)
+			}
+		}
+		r.membershipDigest = cluster.EventsDigest(r.events)
+	}
 
 	// Cost model: bare platform, or a PlatformMap layered over it.
 	var platforms *timing.PlatformMap
@@ -301,14 +379,15 @@ func (spec WorkloadSpec) resolve() (resolved, error) {
 	r.warmup = spec.Warmup
 	r.seed = spec.Seed
 	r.key = clusterKey{
-		model:          ms.Name,
-		mode:           r.mode,
-		workers:        workers,
-		ps:             ps,
-		batchFactor:    spec.BatchFactor,
-		iterations:     spec.Iterations,
-		sharedPSNIC:    spec.SharedPSNIC,
-		platformDigest: platformDigest,
+		model:            ms.Name,
+		mode:             r.mode,
+		workers:          workers,
+		ps:               ps,
+		batchFactor:      spec.BatchFactor,
+		iterations:       spec.Iterations,
+		sharedPSNIC:      spec.SharedPSNIC,
+		platformDigest:   platformDigest,
+		membershipDigest: r.membershipDigest,
 	}
 	return r, nil
 }
@@ -317,6 +396,8 @@ func (spec WorkloadSpec) resolve() (resolved, error) {
 // scheduling policy (and its warmup knob): variants sharing a scenarioKey
 // ask "which policy wins under these exact conditions?" — the grouping the
 // batch summary ranks best policies within.
+// (r.key carries the membership digest, so variants that differ only in
+// membership land in different scenarios.)
 func (r resolved) scenarioKey() string {
 	return fmt.Sprintf("%v|seed=%d|j=%g|rp=%g|wi=%d|mi=%d|st=%v|cn=%v",
 		r.key, r.seed, r.jitter, r.reorderProb, r.warmupIters, r.measureIters, r.stragglers, r.contention)

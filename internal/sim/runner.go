@@ -172,6 +172,7 @@ type runState struct {
 	pos       []int32
 	oracle    timing.Oracle
 	costScale func(*graph.Op) float64
+	disabled  func(*graph.Op) bool
 	tracer    *timing.Tracer
 	jitter    float64
 	reorder   float64
@@ -207,7 +208,7 @@ func (r *Runner) getState() *runState {
 }
 
 func (r *Runner) putState(st *runState) {
-	st.pos, st.oracle, st.costScale, st.tracer = nil, nil, nil, nil
+	st.pos, st.oracle, st.costScale, st.disabled, st.tracer = nil, nil, nil, nil, nil
 	if r.prime.CompareAndSwap(nil, st) {
 		return
 	}
@@ -249,6 +250,7 @@ func (r *Runner) run(cfg Config, pos []int32, st *runState) (*Result, error) {
 	st.pos = pos
 	st.oracle = cfg.Oracle
 	st.costScale = cfg.CostScale
+	st.disabled = cfg.Disabled
 	st.tracer = cfg.Tracer
 	st.jitter = cfg.Jitter
 	st.reorder = cfg.ReorderProb
@@ -271,9 +273,11 @@ func (r *Runner) run(cfg Config, pos []int32, st *runState) (*Result, error) {
 		ev := st.events.pop()
 		st.now = ev.at
 		st.busy[ev.res] = false
-		res.Spans = append(res.Spans, Span{Op: r.ops[ev.op], Start: ev.start, End: ev.at})
-		if di := r.opDev[ev.op]; ev.at > st.devFinish[di] {
-			st.devFinish[di] = ev.at
+		if !ev.masked {
+			res.Spans = append(res.Spans, Span{Op: r.ops[ev.op], Start: ev.start, End: ev.at})
+			if di := r.opDev[ev.op]; ev.at > st.devFinish[di] {
+				st.devFinish[di] = ev.at
+			}
 		}
 		completed++
 		// Incremental dispatch: only the freed resource and resources that
@@ -353,6 +357,14 @@ func (r *Runner) dispatch(st *runState, ri int32) {
 		st.reorders++
 	}
 	op := r.ops[id]
+	if st.disabled != nil && st.disabled(op) {
+		// Masked op: complete instantly with no span, no jitter draw, no
+		// recv-order entry — its only effect is releasing successors.
+		st.busy[ri] = true
+		st.events.push(rev{at: st.now, seq: st.seq, start: st.now, op: id, res: ri, masked: true})
+		st.seq++
+		return
+	}
 	dur := st.oracle.Time(op)
 	if st.costScale != nil {
 		dur *= st.costScale(op)
@@ -442,11 +454,12 @@ func removeID(xs []int32, id int32) []int32 {
 
 // rev is one completion in the simulated timeline ("runner event").
 type rev struct {
-	at    float64
-	start float64
-	seq   int32
-	op    int32
-	res   int32
+	at     float64
+	start  float64
+	seq    int32
+	op     int32
+	res    int32
+	masked bool // Disabled op: releases successors, records nothing
 }
 
 // revHeap is a binary min-heap ordered by (at, seq).

@@ -60,6 +60,18 @@ type Config struct {
 	// per op and never advances the run's RNG stream, so a nil CostScale
 	// and a constant factor of 1 produce bit-identical results.
 	CostScale func(op *graph.Op) float64
+	// Disabled, when non-nil, masks ops out of the run: a masked op
+	// completes in zero simulated time, draws no jitter, records no Span,
+	// no recv-order entry and no device finish time, but still satisfies
+	// its successors' dependencies. This is the injection point for
+	// cluster-membership events (a departed worker's ops vanish without
+	// deadlocking the parameter servers that aggregate across workers —
+	// see cluster.MembershipEvent). It must be a pure function. Masked
+	// ops skip the jitter draw but still participate in the dispatch
+	// rule's tie-break draws, so a masked run is deterministic per seed
+	// without being stream-aligned with the unmasked run; a nil Disabled
+	// is bit-identical to today's behavior.
+	Disabled func(op *graph.Op) bool
 	// Tracer, when non-nil, records every op's simulated duration, feeding
 	// the time-oracle estimator exactly like the paper's tracing module.
 	Tracer *timing.Tracer
