@@ -31,12 +31,13 @@ test:
 # Race gate: the packages with documented concurrency contracts — the real
 # TCP PS runtime, the simulator, the cluster layer, the scheduling-policy
 # registry, the parallel bench engine (plus the bench experiments that fan
-# out across it), the sharded singleflight cache and the HTTP service built
-# on it — the cost-model/stats value types those goroutines share, and the
-# graph/trace/core layers whose artifacts are shared read-only across
+# out across it), the sharded singleflight cache, the HTTP service built
+# on it and the fleet layer (probe loops, hedged forwarding, drain racing
+# writes) — the cost-model/stats value types those goroutines share, and
+# the graph/trace/core layers whose artifacts are shared read-only across
 # concurrent runs.
 race:
-	$(GO) test -race ./internal/psrt/ ./internal/sim/ ./internal/cluster/ ./internal/sched/ ./internal/timing/ ./internal/stats/ ./internal/cache/ ./internal/service/ ./internal/bench/... ./internal/trace/ ./internal/core/ ./internal/graph/ ./internal/collective/
+	$(GO) test -race ./internal/psrt/ ./internal/sim/ ./internal/cluster/ ./internal/sched/ ./internal/timing/ ./internal/stats/ ./internal/cache/ ./internal/service/ ./internal/fleet/ ./internal/bench/... ./internal/trace/ ./internal/core/ ./internal/graph/ ./internal/collective/
 
 # Benchmark smoke: compile and run every benchmark once, no measurements.
 bench:
@@ -63,7 +64,7 @@ doc:
 # Two steps, not a pipe: a bench compile error/panic/FAIL must fail the
 # target (sh has no pipefail), not be masked into an empty JSON array.
 perf:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimRun|BenchmarkClusterRun|BenchmarkClusterChurn|BenchmarkBatchThroughput|BenchmarkCacheReplay' -benchmem \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimRun|BenchmarkClusterRun|BenchmarkClusterChurn|BenchmarkBatchThroughput|BenchmarkFleetForward|BenchmarkCacheReplay' -benchmem \
 		-benchtime $(PERF_BENCHTIME) ./internal/sim/ ./internal/cluster/ ./internal/service/ ./internal/trace/ > BENCH_sim.txt
 	$(GO) run ./cmd/benchjson -o BENCH_sim.json < BENCH_sim.txt
 	@cat BENCH_sim.json

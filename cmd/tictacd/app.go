@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"tictac/internal/cache"
+	"tictac/internal/fleet"
 	"tictac/internal/service"
 )
 
@@ -31,17 +32,25 @@ type app struct {
 	writeTimeout  time.Duration
 	idleTimeout   time.Duration
 
-	loadtest    bool
-	target      string
-	requests    int
-	concurrency int
-	seed        int64
-	models      string
-	policies    string
-	batches     int
-	churnProbes int
-	checkErrors bool
-	reportPath  string
+	fleetMode     bool
+	nodeID        string
+	peers         string
+	probeInterval time.Duration
+	hedgeTimeout  time.Duration
+	drainTimeout  time.Duration
+
+	loadtest     bool
+	target       string
+	requests     int
+	concurrency  int
+	seed         int64
+	models       string
+	policies     string
+	batches      int
+	churnProbes  int
+	checkErrors  bool
+	reportPath   string
+	fleetTargets string
 
 	tracePath      string
 	traceTimescale float64
@@ -63,6 +72,12 @@ func parseFlags(args []string, stderr io.Writer) (*app, error) {
 	fs.DurationVar(&a.readTimeout, "read-timeout", 30*time.Second, "max duration for reading an entire request including the body (0 = unlimited)")
 	fs.DurationVar(&a.writeTimeout, "write-timeout", 30*time.Second, "max duration for writing a response (0 = unlimited)")
 	fs.DurationVar(&a.idleTimeout, "idle-timeout", 2*time.Minute, "max keep-alive idle time before a connection is closed (0 = read-timeout)")
+	fs.BoolVar(&a.fleetMode, "fleet", false, "run as a fleet member: route each workload to its consistent-hash home node, forward non-owned keys, drain on SIGTERM (see docs/fleet.md)")
+	fs.StringVar(&a.nodeID, "node-id", "", "fleet: this node's stable identity (required with -fleet; must appear in -peers)")
+	fs.StringVar(&a.peers, "peers", "", "fleet: full membership as id=url,id=url,... including this node")
+	fs.DurationVar(&a.probeInterval, "probe-interval", time.Second, "fleet: peer health-probe interval")
+	fs.DurationVar(&a.hedgeTimeout, "hedge-timeout", 250*time.Millisecond, "fleet: hedge a forwarded request to the next replica after this long without a response")
+	fs.DurationVar(&a.drainTimeout, "drain-timeout", 30*time.Second, "fleet: max time to stream hot cache entries to successors on SIGTERM before exiting anyway")
 	fs.BoolVar(&a.loadtest, "loadtest", false, "run the deterministic load generator instead of serving")
 	fs.StringVar(&a.target, "target", "", "loadtest: base URL of a running tictacd (empty = spin up an in-process server)")
 	fs.IntVar(&a.requests, "requests", 200, "loadtest: total schedule requests")
@@ -74,6 +89,7 @@ func parseFlags(args []string, stderr io.Writer) (*app, error) {
 	fs.IntVar(&a.churnProbes, "churn-probes", 0, "loadtest: membership-churn probes asserting no stale schedule survives a fleet change (0 = default 2, negative = none)")
 	fs.BoolVar(&a.checkErrors, "check-errors", true, "loadtest: run the error-injection probes asserting structured codes")
 	fs.StringVar(&a.reportPath, "report", "", "loadtest: also write the JSON report to this file")
+	fs.StringVar(&a.fleetTargets, "fleet-targets", "", "loadtest: comma-separated base URLs of a running fleet — hammer through every node, byte-verify against direct computation, assert aggregate hit rate (overrides -target)")
 	fs.StringVar(&a.tracePath, "trace", "", "loadtest: replay this workload trace file instead of the synthetic mix (see docs/cache-policies.md)")
 	fs.Float64Var(&a.traceTimescale, "trace-timescale", 0, "trace replay: wall-clock seconds per trace second (0 = as fast as possible)")
 	fs.StringVar(&a.traceSizes, "trace-sizes", "", "trace replay: comma-separated schedule-cache capacities to sweep (empty = 4,16,64)")
@@ -91,7 +107,47 @@ func parseFlags(args []string, stderr io.Writer) (*app, error) {
 			return nil, err
 		}
 	}
+	if a.fleetMode && !a.loadtest {
+		if _, err := a.fleetNode(); err != nil {
+			fmt.Fprintf(stderr, "tictacd: %v\n", err)
+			return nil, err
+		}
+	}
 	return a, nil
+}
+
+// parsePeers parses the -peers membership list ("id=url,id=url,...").
+func parsePeers(s string) ([]fleet.Member, error) {
+	var members []fleet.Member
+	for _, part := range splitList(s) {
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers: bad entry %q (want id=url)", part)
+		}
+		members = append(members, fleet.Member{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("-peers is required with -fleet (id=url,id=url,... including this node)")
+	}
+	return members, nil
+}
+
+// fleetNode builds this node's membership/health tracker from the command
+// line. Validation (self in peers, no duplicates, >= 2 members) lives in
+// fleet.NewNode.
+func (a *app) fleetNode() (*fleet.Node, error) {
+	if a.nodeID == "" {
+		return nil, fmt.Errorf("-node-id is required with -fleet")
+	}
+	members, err := parsePeers(a.peers)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.NewNode(fleet.Config{
+		Self:          a.nodeID,
+		Members:       members,
+		ProbeInterval: a.probeInterval,
+	})
 }
 
 func (a *app) options() service.Options {
@@ -160,16 +216,37 @@ func (a *app) httpServer(h http.Handler) *http.Server {
 	}
 }
 
-// runDaemon serves until SIGINT/SIGTERM, then drains in-flight requests.
+// runDaemon serves until SIGINT/SIGTERM, then drains in-flight requests. In
+// fleet mode a SIGTERM additionally streams the hot cache to hash successors
+// before the listener closes (the graceful half of the failure model; SIGKILL
+// exercises the other half and costs only recomputation, never correctness).
 func (a *app) runDaemon(stdout, stderr io.Writer) int {
-	svc := service.New(a.options())
+	opts := a.options()
+	if a.fleetMode {
+		node, err := a.fleetNode()
+		if err != nil {
+			fmt.Fprintf(stderr, "tictacd: %v\n", err)
+			return 2
+		}
+		opts.Fleet = node
+		opts.FleetHedgeTimeout = a.hedgeTimeout
+	}
+	svc := service.New(opts)
 	srv := a.httpServer(svc.Handler())
 	ln, err := net.Listen("tcp", a.addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "tictacd: listen: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "tictacd: serving on %s (POST /v1/schedule, POST /v1/simulate, POST /v1/batch, GET /v1/policies, GET /healthz, GET /metrics)\n", ln.Addr())
+	if a.fleetMode {
+		probeCtx, stopProbes := context.WithCancel(context.Background())
+		defer stopProbes()
+		opts.Fleet.Start(probeCtx)
+		fmt.Fprintf(stdout, "tictacd: fleet node %q serving on %s (%d peers; POST /v1/drain, GET /v1/fleet)\n",
+			a.nodeID, ln.Addr(), len(opts.Fleet.Ring().Members())-1)
+	} else {
+		fmt.Fprintf(stdout, "tictacd: serving on %s (POST /v1/schedule, POST /v1/simulate, POST /v1/batch, GET /v1/policies, GET /healthz, GET /metrics)\n", ln.Addr())
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
@@ -179,6 +256,16 @@ func (a *app) runDaemon(stdout, stderr io.Writer) int {
 	select {
 	case sig := <-stop:
 		fmt.Fprintf(stdout, "tictacd: %v, shutting down\n", sig)
+		if svc.FleetEnabled() && sig == syscall.SIGTERM {
+			drainCtx, cancel := context.WithTimeout(context.Background(), a.drainTimeout)
+			rep := svc.Drain(drainCtx)
+			cancel()
+			fmt.Fprintf(stdout, "tictacd: drained %d/%d cache entries to %d peer(s)\n",
+				rep.Streamed, rep.Entries, len(rep.Targets))
+			for _, e := range rep.Errors {
+				fmt.Fprintf(stderr, "tictacd: drain: %s\n", e)
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -203,7 +290,11 @@ func (a *app) runLoadtest(stdout, stderr io.Writer) int {
 		return a.runReplay(stdout, stderr)
 	}
 	target := a.target
-	if target == "" {
+	fleetTargets := splitList(a.fleetTargets)
+	if len(fleetTargets) > 0 {
+		target = ""
+		fmt.Fprintf(stderr, "tictacd: loadtest through %d fleet nodes\n", len(fleetTargets))
+	} else if target == "" {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(stderr, "tictacd: listen: %v\n", err)
@@ -217,16 +308,17 @@ func (a *app) runLoadtest(stdout, stderr io.Writer) int {
 	}
 
 	report, runErr := service.RunLoad(service.LoadOptions{
-		Target:      target,
-		Requests:    a.requests,
-		Concurrency: a.concurrency,
-		Seed:        a.seed,
-		Models:      splitList(a.models),
-		Policies:    splitList(a.policies),
-		Batches:     a.batches,
-		ChurnProbes: a.churnProbes,
-		CheckErrors: a.checkErrors,
-		BatchLimit:  a.maxBatch,
+		Target:       target,
+		FleetTargets: fleetTargets,
+		Requests:     a.requests,
+		Concurrency:  a.concurrency,
+		Seed:         a.seed,
+		Models:       splitList(a.models),
+		Policies:     splitList(a.policies),
+		Batches:      a.batches,
+		ChurnProbes:  a.churnProbes,
+		CheckErrors:  a.checkErrors,
+		BatchLimit:   a.maxBatch,
 	})
 	// RunLoad may return a partial report alongside its error (e.g. the
 	// run completed but the /metrics read failed). Emit whatever exists

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"tictac/internal/fleet"
 	"tictac/internal/service"
 	"tictac/internal/trace"
 )
@@ -196,5 +197,93 @@ func TestTraceReplayInProcess(t *testing.T) {
 	}
 	if !oracle {
 		t.Error("offline section missing the belady oracle")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	members, err := parsePeers("a=http://10.0.0.1:8080, b=http://10.0.0.2:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 || members[0].ID != "a" || members[1].URL != "http://10.0.0.2:8080" {
+		t.Fatalf("parsed %+v", members)
+	}
+	for _, bad := range []string{"", "a", "=http://x", "a=", "a=u,b"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFleetFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-fleet"},                  // no node-id
+		{"-fleet", "-node-id", "a"}, // no peers
+		{"-fleet", "-node-id", "a", "-peers", "b=http://x,c=http://y"}, // self missing
+		{"-fleet", "-node-id", "a", "-peers", "a=http://x"},            // single member
+		{"-fleet", "-node-id", "a", "-peers", "garbage"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}
+
+func TestFleetLoadtestThroughDaemons(t *testing.T) {
+	// Two real fleet members over loopback, then the cmd-level loadtest
+	// driven through both with -fleet-targets.
+	lns := make([]net.Listener, 2)
+	members := make([]fleet.Member, 2)
+	ids := []string{"n0", "n1"}
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		members[i] = fleet.Member{ID: ids[i], URL: "http://" + ln.Addr().String()}
+	}
+	for i, ln := range lns {
+		node, err := fleet.NewNode(fleet.Config{Self: ids[i], Members: members})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: service.New(service.Options{Fleet: node}).Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
+	report := filepath.Join(t.TempDir(), "fleet.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-loadtest",
+		"-fleet-targets", members[0].URL + "," + members[1].URL,
+		"-requests", "30",
+		"-concurrency", "4",
+		"-models", "AlexNet v2",
+		"-policies", "tic",
+		"-report", report,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	payload, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r service.LoadReport
+	if err := json.Unmarshal(payload, &r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FleetTargets) != 2 {
+		t.Errorf("report fleet_targets = %v, want both nodes", r.FleetTargets)
+	}
+	if r.Mismatches != 0 || r.Failures != 0 {
+		t.Errorf("fleet loadtest saw %d mismatches, %d failures", r.Mismatches, r.Failures)
+	}
+	if len(r.PerNode) != 2 {
+		t.Errorf("per-node stats for %d nodes, want 2", len(r.PerNode))
 	}
 }

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -138,6 +139,87 @@ func main() {
 	fmt.Printf("metrics: %d schedule requests, %d schedule builds, hit rate %.2f, p99 %.1fms\n",
 		m.Requests["schedule"].Count, m.Builds.Schedules,
 		m.Cache.Schedules.HitRate, m.Requests["schedule"].LatencySeconds.P99*1000)
+
+	// 6. A 3-node fleet: each workload has one consistent-hash home node;
+	// any node accepts any request and forwards non-owned keys to the
+	// owner, so clients need no routing knowledge. cmd/tictacd wires the
+	// same thing up from -fleet/-node-id/-peers flags (see docs/fleet.md).
+	fmt.Println("\n--- 3-node fleet ---")
+	fleetDemo(workload)
+}
+
+// fleetDemo stands up a 3-node fleet in-process and shows routing,
+// forwarding and graceful drain.
+func fleetDemo(workload tictac.ServiceWorkloadSpec) {
+	const n = 3
+	listeners := make([]net.Listener, n)
+	members := make([]tictac.FleetMember, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		listeners[i] = ln
+		members[i] = tictac.FleetMember{
+			ID:  fmt.Sprintf("node-%d", i),
+			URL: "http://" + ln.Addr().String(),
+		}
+	}
+	services := make([]*tictac.SchedulingService, n)
+	for i, ln := range listeners {
+		node, err := tictac.NewFleetNode(tictac.FleetConfig{
+			Self: members[i].ID, Members: members,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		services[i] = tictac.NewService(tictac.ServiceOptions{Fleet: node})
+		srv := &http.Server{Handler: services[i].Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
+	// The same workload through every node returns byte-identical answers;
+	// exactly one node (the key's home) builds the schedule, the others
+	// forward. The X-Tictac-Via header on a relayed response names the
+	// node that actually served it.
+	req := tictac.ServiceScheduleRequest{Workload: &workload}
+	for _, m := range members {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(m.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		via := resp.Header.Get("X-Tictac-Via")
+		if via == "" {
+			via = m.ID + " (served locally)"
+		}
+		fmt.Printf("via %-7s -> served by %s\n", m.ID, via)
+	}
+	builds := 0
+	for i, svc := range services {
+		fm := svc.Metrics().Fleet
+		b := svc.Metrics().Builds.Schedules
+		builds += int(b)
+		fmt.Printf("%s: %d schedule builds, %d forwarded-in, ring generation %d\n",
+			members[i].ID, b, fm.ForwardedIn, fm.Generation)
+	}
+	fmt.Printf("total builds across the fleet: %d (one home node per workload)\n\n", builds)
+
+	// Graceful drain: before a node exits it streams its hot entries'
+	// workload specs to their new owners, which recompute deterministically
+	// — byte-identical by the determinism contract. cmd/tictacd runs this
+	// on SIGTERM.
+	for i, svc := range services {
+		if b := svc.Metrics().Builds.Schedules; b > 0 {
+			report := svc.Drain(context.Background())
+			fmt.Printf("drained %s: %d/%d entries streamed to successors\n",
+				members[i].ID, report.Streamed, report.Entries)
+			break
+		}
+	}
 }
 
 func postJSON(url string, v any) []byte {

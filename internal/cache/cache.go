@@ -359,6 +359,35 @@ func (c *Cache[K, V]) CostLen() int64 {
 	return n
 }
 
+// ForEach calls fn once per resident value, in deterministic order: shards
+// by index, entries within a shard by admission handle (the order their
+// builds completed). In-flight builds are skipped. Each shard's snapshot is
+// taken under its lock but fn runs outside it, so fn may call back into the
+// cache; entries admitted or evicted while ForEach runs may or may not be
+// observed. The fleet drain path iterates the schedule cache through this.
+func (c *Cache[K, V]) ForEach(fn func(K, V)) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		type kv struct {
+			k K
+			v V
+		}
+		snap := make([]kv, 0, s.resident)
+		// Walk handles in admission order rather than ranging the map:
+		// handles are dense-ish and never reused, so this is deterministic.
+		for h := Handle(0); h < s.nextHandle; h++ {
+			if e, ok := s.byHandle[h]; ok && e.complete {
+				snap = append(snap, kv{k: e.key, v: e.val})
+			}
+		}
+		s.mu.Unlock()
+		for _, e := range snap {
+			fn(e.k, e.v)
+		}
+	}
+}
+
 // Stats returns a snapshot of the cumulative counters.
 func (c *Cache[K, V]) Stats() Stats {
 	return Stats{

@@ -1,0 +1,84 @@
+// Package fleet turns a set of tictacd processes into one sharded cache:
+// a peer membership/health layer plus consistent-hash request routing, so
+// that each distinct workload has exactly one home node and the fleet-wide
+// cache hit rate approaches the single-node rate.
+//
+// The pieces (see docs/fleet.md for the full design):
+//
+//   - Ring (ring.go): a consistent-hash ring over the live members. Routing
+//     is a pure function of (key, live-member set): given the same
+//     membership view, every node maps a key to the same owner and
+//     successor chain, and removing a member only moves the keys that
+//     member owned.
+//   - Node (monitor.go): static-seed membership refreshed by gossip —
+//     every health probe hits a peer's /v1/fleet view and merges any
+//     members it did not know — with an alive→suspect→down state machine
+//     driven by consecutive probe/forward failures and a seeded-jitter
+//     exponential backoff on probing downed peers.
+//   - Forwarder (forward.go): transparent request proxying. Any node
+//     accepts any request; a non-owned key is forwarded to its owner with
+//     one hedged retry to the next replica on timeout, and a forwarded
+//     request is always served locally by its receiver (so two nodes that
+//     briefly disagree on membership still return byte-correct data — the
+//     determinism contract makes every node able to serve every request).
+//
+// The package speaks URLs and bytes only; it does not import the service
+// layer. internal/service wires a *Node into its handlers and cmd/tictacd
+// constructs one from -fleet/-peers/-node-id.
+package fleet
+
+import "fmt"
+
+// Member is one fleet node: a stable ID (hashed onto the ring) plus the
+// base URL peers reach it at.
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// Status is a peer's health in the suspect→down state machine.
+type Status uint8
+
+const (
+	// Alive peers answer probes and receive forwards.
+	Alive Status = iota
+	// Suspect peers failed recent probes but are still routed to: a
+	// transient blip must not reshuffle the ring (and with it every key's
+	// home) the moment one probe times out.
+	Suspect
+	// Down peers failed enough consecutive probes to be removed from the
+	// ring; their keys move to their hash successors. Downed peers keep
+	// being probed on a backoff schedule and rejoin the ring on the first
+	// successful probe.
+	Down
+)
+
+// String returns the lower-case status name.
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// MarshalText renders the status name into JSON views.
+func (s Status) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a status name — gossip views round-trip as JSON.
+// Unknown names map to Down so a newer peer's status never reads as alive.
+func (s *Status) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "alive":
+		*s = Alive
+	case "suspect":
+		*s = Suspect
+	default:
+		*s = Down
+	}
+	return nil
+}

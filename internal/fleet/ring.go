@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member. 64 points per member
+// keeps the key split within a few percent of even for small fleets while
+// the ring stays tiny (3 nodes × 64 points = 192 entries).
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over a member set. Build one
+// with NewRing; a Ring is safe for concurrent use. Ownership is a pure
+// function of (key, member set): two nodes holding the same member set
+// always agree on every key's owner and successor chain, and removing a
+// member moves only the keys that member owned (to their hash successors).
+type Ring struct {
+	members []Member // sorted by ID
+	points  []point  // sorted by hash
+}
+
+// point is one virtual node: a position on the ring owned by a member.
+type point struct {
+	hash   uint64
+	member int32 // index into members
+}
+
+// NewRing builds a ring over members with vnodes virtual nodes per member
+// (<= 0 selects DefaultVNodes). Duplicate IDs collapse onto one entry; an
+// empty member set yields a ring that owns nothing.
+func NewRing(members []Member, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]Member, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if !seen[m.ID] {
+			seen[m.ID] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].ID < uniq[j].ID })
+	r := &Ring{
+		members: uniq,
+		points:  make([]point, 0, len(uniq)*vnodes),
+	}
+	for i, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash:   ringHash(m.ID + "#" + strconv.Itoa(v)),
+				member: int32(i),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break by member index so the
+		// ring layout stays a pure function of the member set.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// ringHash maps a string to a ring position. SHA-256 (truncated to 64 bits)
+// rather than a seeded hash: every node must place every key and vnode at
+// the same position without coordination.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Members returns the ring's member set, sorted by ID.
+func (r *Ring) Members() []Member {
+	out := make([]Member, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Len returns the number of members on the ring.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Owner returns the member owning key: the first virtual node at or after
+// the key's hash, wrapping at the top. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (m Member, ok bool) {
+	s := r.Successors(key, 1)
+	if len(s) == 0 {
+		return Member{}, false
+	}
+	return s[0], true
+}
+
+// Successors returns up to n distinct members clockwise from key's ring
+// position: the owner first, then the members whose virtual nodes follow —
+// the replica chain a forwarded request hedges along, and the chain a
+// draining node's entries move down.
+func (r *Ring) Successors(key string, n int) []Member {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]Member, 0, n)
+	seen := make(map[int32]bool, n)
+	for off := 0; off < len(r.points) && len(out) < n; off++ {
+		p := r.points[(i+off)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// Without returns a new ring with member id removed — the view a draining
+// node uses to route its entries to their post-drain owners.
+func (r *Ring) Without(id string) *Ring {
+	kept := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		if m.ID != id {
+			kept = append(kept, m)
+		}
+	}
+	vnodes := 0
+	if len(r.members) > 0 {
+		vnodes = len(r.points) / len(r.members)
+	}
+	return NewRing(kept, vnodes)
+}

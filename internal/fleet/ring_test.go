@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func threeMembers() []Member {
+	return []Member{
+		{ID: "a", URL: "http://a"},
+		{ID: "b", URL: "http://b"},
+		{ID: "c", URL: "http://c"},
+	}
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	r1 := NewRing(threeMembers(), 0)
+	// Same members in a different order must yield the identical ring.
+	r2 := NewRing([]Member{
+		{ID: "c", URL: "http://c"},
+		{ID: "a", URL: "http://a"},
+		{ID: "b", URL: "http://b"},
+	}, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("workload-%d", i)
+		o1, ok1 := r1.Owner(key)
+		o2, ok2 := r2.Owner(key)
+		if !ok1 || !ok2 {
+			t.Fatalf("key %q: owner missing (ok1=%v ok2=%v)", key, ok1, ok2)
+		}
+		if o1 != o2 {
+			t.Fatalf("key %q: owner differs across build orders: %v vs %v", key, o1, o2)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(threeMembers(), 0)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		o, _ := r.Owner(fmt.Sprintf("workload-%d", i))
+		counts[o.ID]++
+	}
+	for id, c := range counts {
+		share := float64(c) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("member %s owns %.0f%% of keys — ring badly unbalanced: %v", id, 100*share, counts)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing(threeMembers(), 0)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		s := r.Successors(key, 3)
+		if len(s) != 3 {
+			t.Fatalf("key %q: got %d successors, want 3", key, len(s))
+		}
+		seen := map[string]bool{}
+		for _, m := range s {
+			if seen[m.ID] {
+				t.Fatalf("key %q: duplicate member %s in successors %v", key, m.ID, s)
+			}
+			seen[m.ID] = true
+		}
+		if o, _ := r.Owner(key); o != s[0] {
+			t.Fatalf("key %q: owner %v is not first successor %v", key, o, s[0])
+		}
+	}
+	if got := r.Successors("k", 10); len(got) != 3 {
+		t.Fatalf("successors capped at member count: got %d, want 3", len(got))
+	}
+}
+
+func TestRingRemovalMovesOnlyOwnedKeys(t *testing.T) {
+	full := NewRing(threeMembers(), 0)
+	without := full.Without("b")
+	if without.Len() != 2 {
+		t.Fatalf("Without: got %d members, want 2", without.Len())
+	}
+	moved, kept := 0, 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("workload-%d", i)
+		before, _ := full.Owner(key)
+		after, _ := without.Owner(key)
+		if before.ID == "b" {
+			moved++
+			if after.ID == "b" {
+				t.Fatalf("key %q still owned by removed member", key)
+			}
+			// A removed member's keys move to its hash successor.
+			chain := full.Successors(key, 2)
+			if len(chain) == 2 && after != chain[1] {
+				t.Fatalf("key %q moved to %v, want hash successor %v", key, after, chain[1])
+			}
+		} else {
+			kept++
+			if before != after {
+				t.Fatalf("key %q owned by %v moved to %v though its owner stayed", key, before, after)
+			}
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate key split: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingEmptyAndDuplicates(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if _, ok := empty.Owner("k"); ok {
+		t.Fatal("empty ring claims an owner")
+	}
+	if s := empty.Successors("k", 2); s != nil {
+		t.Fatalf("empty ring returned successors %v", s)
+	}
+	dup := NewRing([]Member{{ID: "a", URL: "http://a"}, {ID: "a", URL: "http://other"}}, 0)
+	if dup.Len() != 1 {
+		t.Fatalf("duplicate IDs not collapsed: %d members", dup.Len())
+	}
+}

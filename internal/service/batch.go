@@ -190,8 +190,12 @@ type batchOut struct {
 }
 
 func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) error {
+	body, err := readBody(w, r)
+	if err != nil {
+		return err
+	}
 	var req BatchRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		return err
 	}
 	if len(req.Variants) == 0 {
@@ -207,6 +211,11 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) error {
 	}
 	baseRes, err := base.resolve()
 	if err != nil {
+		return err
+	}
+	// A batch routes on its base spec's key: variants must not change the
+	// graph, so the whole batch shares the base workload's home node.
+	if handled, err := s.maybeForward(w, r, body, baseRes); handled || err != nil {
 		return err
 	}
 	// One graph parse/digest for the whole batch: build (or fetch) the base

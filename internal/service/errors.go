@@ -40,6 +40,13 @@ const (
 	// spec needs it: a leave/fail of an already-departed worker, or a
 	// straggler window that never overlaps its worker's active iterations.
 	CodeDepartedWorker = "departed_worker"
+	// CodeFleetUnavailable is returned in fleet mode when a request's home
+	// node and its replica are both unreachable and this node is not in
+	// the key's replica chain; the fleet cannot currently serve the key's
+	// canonical cached bytes, and the client should retry (the health
+	// layer removes dead peers within a few probe intervals, after which
+	// the surviving nodes serve the key themselves).
+	CodeFleetUnavailable = "fleet_unavailable"
 	// CodeInternal is the server-fault catch-all.
 	CodeInternal = "internal"
 )

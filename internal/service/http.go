@@ -1,9 +1,11 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -38,6 +40,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/policies", s.instrument("policies", http.MethodGet, s.handlePolicies))
 	mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
+	if s.fleet != nil {
+		mux.HandleFunc("/v1/fleet", s.instrument("fleet", http.MethodGet, s.handleFleet))
+		mux.HandleFunc("/v1/fleet/warm", s.instrument("warm", http.MethodPost, s.handleWarm))
+		mux.HandleFunc("/v1/drain", s.instrument("drain", http.MethodPost, s.handleDrain))
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, codeErr(http.StatusNotFound, CodeNotFound, "unknown path %q", r.URL.Path))
 	})
@@ -76,21 +83,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // headers are out; nothing useful to do on a write error
 }
 
-// decodeBody strictly decodes a JSON request body into v. Bodies over the
-// 1 MiB cap are a 413 payload_too_large; anything else the decoder rejects
-// (syntax, unknown fields, trailing garbage) is a 400 bad_request.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+// readBody reads the whole request body (the fleet forwarding path needs
+// the raw bytes to relay verbatim). Bodies over the 1 MiB cap are a 413
+// payload_too_large.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			return codeErr(http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+			return nil, codeErr(http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
 				"request body exceeds %d bytes", mbe.Limit)
 		}
+		return nil, badRequest("reading request body: %v", err)
+	}
+	return body, nil
+}
+
+// decodeStrict strictly decodes a JSON body into v; anything the decoder
+// rejects (syntax, unknown fields) is a 400 bad_request.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
 		return badRequest("invalid request body: %v", err)
 	}
 	return nil
+}
+
+// decodeBody strictly decodes a JSON request body into v. Bodies over the
+// 1 MiB cap are a 413 payload_too_large; anything else the decoder rejects
+// (syntax, unknown fields) is a 400 bad_request.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body, err := readBody(w, r)
+	if err != nil {
+		return err
+	}
+	return decodeStrict(body, v)
 }
 
 // ScheduleResponse is the body of POST /v1/schedule. Result is served from
@@ -105,12 +133,19 @@ type ScheduleResponse struct {
 }
 
 func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) error {
+	body, err := readBody(w, r)
+	if err != nil {
+		return err
+	}
 	var req ScheduleRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		return err
 	}
 	res, err := req.resolve()
 	if err != nil {
+		return err
+	}
+	if handled, err := s.maybeForward(w, r, body, res); handled || err != nil {
 		return err
 	}
 	e, _, cached, err := s.schedule(res)
@@ -236,12 +271,19 @@ func (s *Service) simulate(res resolved) (*SimulateResponse, error) {
 }
 
 func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) error {
+	body, err := readBody(w, r)
+	if err != nil {
+		return err
+	}
 	var req SimulateRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		return err
 	}
 	res, err := req.resolve()
 	if err != nil {
+		return err
+	}
+	if handled, err := s.maybeForward(w, r, body, res); handled || err != nil {
 		return err
 	}
 	resp, err := s.simulate(res)
@@ -269,10 +311,17 @@ func (s *Service) handlePolicies(w http.ResponseWriter, _ *http.Request) error {
 type HealthResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Draining marks a fleet node that has begun graceful drain (it still
+	// serves, but is streaming its cache out and will exit).
+	Draining bool `json:"draining,omitempty"`
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", UptimeSeconds: time.Since(s.start).Seconds()})
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining.Load(),
+	})
 	return nil
 }
 
@@ -328,6 +377,9 @@ type MetricsResponse struct {
 		DerivedClusters uint64 `json:"derived_clusters"`
 		Schedules       uint64 `json:"schedules"`
 	} `json:"builds"`
+	// Fleet is the fleet-mode section (nil outside fleet mode): the ring
+	// view with per-peer forward/hedge/drain counters. See docs/fleet.md.
+	Fleet *FleetMetrics `json:"fleet,omitempty"`
 }
 
 // Metrics returns the current metrics snapshot (the /metrics payload).
@@ -348,6 +400,7 @@ func (s *Service) Metrics() MetricsResponse {
 	resp.Builds.Clusters = s.clusterBuilds.Load()
 	resp.Builds.DerivedClusters = s.derivedClusters.Load()
 	resp.Builds.Schedules = s.scheduleBuilds.Load()
+	resp.Fleet = s.fleetMetrics()
 	return resp
 }
 

@@ -62,6 +62,22 @@ type LoadOptions struct {
 	BatchLimit int
 	// Client overrides the HTTP client (default: 30s timeout).
 	Client *http.Client
+	// FleetTargets, when non-empty, puts the loadtest in fleet mode
+	// (`tictacd -loadtest -fleet-targets ...`): requests are spread
+	// round-robin across every member URL (Target may be empty), responses
+	// are still byte-verified against direct library computation — the
+	// fleet determinism contract says the answer is identical whichever
+	// node serves it — and a request that fails at the transport level or
+	// with a transient 503 fleet_unavailable retries on the other members
+	// (counted in FleetRetries) before it counts as a failure, so killing
+	// a node mid-load must produce zero wrong answers and zero failures.
+	// End-of-run metrics are collected from every reachable member and
+	// summed into AggregateHitRate.
+	FleetTargets []string
+	// Progress, when non-nil, is called after each completed schedule
+	// request with (completed, total). It may be called concurrently.
+	// Fleet kill tests use it to fell a node deterministically mid-load.
+	Progress func(completed, total int)
 }
 
 func (o LoadOptions) withDefaults() LoadOptions {
@@ -125,9 +141,39 @@ type LoadReport struct {
 	// and what went wrong.
 	ErrorChecks        int      `json:"error_checks"`
 	ErrorCheckFailures []string `json:"error_check_failures,omitempty"`
-	// Server-side view, read from /metrics after the run.
+	// Server-side view, read from /metrics after the run. In fleet mode
+	// these are summed across every reachable member.
 	ServerScheduleBuilds uint64  `json:"server_schedule_builds"`
 	ServerCacheHitRate   float64 `json:"server_schedule_cache_hit_rate"`
+
+	// Fleet mode (empty/zero otherwise). FleetRetries counts transient
+	// failovers absorbed while a member was dying or dead; DeadTargets are
+	// members unreachable at end-of-run metrics collection (an intentional
+	// kill lands here); AggregateHitRate is the schedule-cache hit rate
+	// summed across reachable members — the fleet-behaves-like-one-cache
+	// number the CI fleet-smoke job compares against single-node.
+	FleetTargets     []string                 `json:"fleet_targets,omitempty"`
+	FleetRetries     int                      `json:"fleet_retries,omitempty"`
+	DeadTargets      []string                 `json:"dead_targets,omitempty"`
+	AggregateHitRate float64                  `json:"aggregate_hit_rate,omitempty"`
+	PerNode          map[string]NodeLoadStats `json:"per_node,omitempty"`
+}
+
+// NodeLoadStats is one fleet member's end-of-run slice of the load: its
+// schedule-cache counters plus its fleet forward/hedge/drain totals — the
+// per-node section of the CI fleet report artifact.
+type NodeLoadStats struct {
+	Node           string  `json:"node"`
+	HitRate        float64 `json:"hit_rate"`
+	Hits           uint64  `json:"hits"`
+	Misses         uint64  `json:"misses"`
+	Coalesced      uint64  `json:"coalesced"`
+	ScheduleBuilds uint64  `json:"schedule_builds"`
+	ForwardedIn    uint64  `json:"forwarded_in"`
+	ForwardedOut   uint64  `json:"forwarded_out"`
+	Hedges         uint64  `json:"hedges"`
+	Drained        uint64  `json:"drained"`
+	Warmed         uint64  `json:"warmed"`
 }
 
 // Err returns nil when the run upheld the service contract: every request
@@ -180,9 +226,10 @@ func (r *LoadReport) Err() error {
 // request and compared byte-for-byte.
 func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	opts = opts.withDefaults()
-	if opts.Target == "" {
+	if opts.Target == "" && len(opts.FleetTargets) == 0 {
 		return nil, fmt.Errorf("loadtest: no target URL")
 	}
+	d := newLoadDialer(opts)
 
 	// The deterministic request mix plus its direct-library references.
 	type workItem struct {
@@ -220,10 +267,12 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		DistinctConfigs: len(items),
 		BatchRequests:   opts.Batches,
 		ChurnProbes:     opts.ChurnProbes,
+		FleetTargets:    opts.FleetTargets,
 	}
 	var failures, mismatches, cached atomic.Int64
 	var batchVariants, batchMismatches, batchFailures atomic.Int64
 	var churnStale, churnFailures atomic.Int64
+	var scheduleDone atomic.Int64
 	lat := stats.NewLatencyRecorder(opts.Requests)
 	// Indices [0, Requests) are schedule requests; [Requests,
 	// Requests+Batches) are batch requests and [Requests+Batches,
@@ -237,7 +286,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 			defer wg.Done()
 			for i := range indices {
 				if i >= opts.Requests+opts.Batches {
-					stale, err := runChurnProbe(opts, int64(i-opts.Requests-opts.Batches))
+					stale, err := runChurnProbe(d, opts, int64(i-opts.Requests-opts.Batches))
 					churnStale.Add(int64(stale))
 					if err != nil {
 						churnFailures.Add(1)
@@ -245,7 +294,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 					continue
 				}
 				if i >= opts.Requests {
-					vars, miss, err := runBatchProbe(opts, int64(i-opts.Requests))
+					vars, miss, err := runBatchProbe(d, opts, int64(i-opts.Requests))
 					batchVariants.Add(int64(vars))
 					batchMismatches.Add(int64(miss))
 					if err != nil {
@@ -255,7 +304,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 				}
 				item := items[i%len(items)]
 				t0 := time.Now()
-				gotCached, err := postSchedule(opts.Client, opts.Target, item.req, item.expected)
+				gotCached, err := postSchedule(d, item.req, item.expected)
 				lat.Observe(time.Since(t0).Seconds())
 				switch {
 				case errors.Is(err, errMismatch):
@@ -264,6 +313,9 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 					failures.Add(1)
 				case gotCached:
 					cached.Add(1)
+				}
+				if done := scheduleDone.Add(1); opts.Progress != nil {
+					opts.Progress(int(done), opts.Requests)
 				}
 			}
 		}()
@@ -301,7 +353,15 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	report.Latency = lat.Snapshot()
 
 	if opts.CheckErrors {
-		report.ErrorChecks, report.ErrorCheckFailures = runErrorChecks(opts)
+		report.ErrorChecks, report.ErrorCheckFailures = runErrorChecks(d, opts)
+	}
+
+	if len(opts.FleetTargets) > 0 {
+		report.FleetRetries = int(d.retries.Load())
+		if err := collectFleetMetrics(opts, report); err != nil {
+			return report, err
+		}
+		return report, nil
 	}
 
 	// Server-side cache view.
@@ -312,6 +372,52 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	report.ServerScheduleBuilds = metrics.Builds.Schedules
 	report.ServerCacheHitRate = metrics.Cache.Schedules.HitRate
 	return report, nil
+}
+
+// collectFleetMetrics polls every fleet member's /metrics, fills the
+// per-node section, and sums the schedule-cache counters into the aggregate
+// hit rate. Unreachable members (e.g. a node the run deliberately killed)
+// are recorded in DeadTargets, not fatal — but every member being dead is.
+func collectFleetMetrics(opts LoadOptions, report *LoadReport) error {
+	report.PerNode = make(map[string]NodeLoadStats, len(opts.FleetTargets))
+	var hits, misses, coalesced uint64
+	for _, t := range opts.FleetTargets {
+		m, err := fetchMetrics(opts.Client, t)
+		if err != nil {
+			report.DeadTargets = append(report.DeadTargets, t)
+			continue
+		}
+		ns := NodeLoadStats{
+			HitRate:        m.Cache.Schedules.HitRate,
+			Hits:           m.Cache.Schedules.Hits,
+			Misses:         m.Cache.Schedules.Misses,
+			Coalesced:      m.Cache.Schedules.Coalesced,
+			ScheduleBuilds: m.Builds.Schedules,
+		}
+		if m.Fleet != nil {
+			ns.Node = m.Fleet.Node
+			ns.ForwardedIn = m.Fleet.ForwardedIn
+			ns.Drained = m.Fleet.Drained
+			ns.Warmed = m.Fleet.Warmed
+			for _, pv := range m.Fleet.Members {
+				ns.ForwardedOut += pv.Forwarded
+				ns.Hedges += pv.Hedges
+			}
+		}
+		report.PerNode[t] = ns
+		hits += ns.Hits
+		misses += ns.Misses
+		coalesced += ns.Coalesced
+		report.ServerScheduleBuilds += ns.ScheduleBuilds
+	}
+	if len(report.DeadTargets) == len(opts.FleetTargets) {
+		return fmt.Errorf("loadtest: every fleet target is unreachable")
+	}
+	if lookups := hits + misses + coalesced; lookups > 0 {
+		report.AggregateHitRate = float64(hits+coalesced) / float64(lookups)
+	}
+	report.ServerCacheHitRate = report.AggregateHitRate
+	return nil
 }
 
 // loadBatchRequest is the deterministic batch request for probe b: a policy
@@ -343,9 +449,9 @@ func loadBatchRequest(opts LoadOptions, b int64) BatchRequest {
 // runBatchProbe fires one batch request and compares every variant's
 // payload byte-for-byte against the equivalent single /v1/simulate
 // response. Returns (variants compared, mismatches, transport error).
-func runBatchProbe(opts LoadOptions, b int64) (vars, mismatches int, err error) {
+func runBatchProbe(d *loadDialer, opts LoadOptions, b int64) (vars, mismatches int, err error) {
 	req := loadBatchRequest(opts, b)
-	status, payload, err := postJSON(opts.Client, opts.Target+"/v1/batch", req)
+	status, payload, err := postJSON(d, "/v1/batch", req)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -365,7 +471,7 @@ func runBatchProbe(opts LoadOptions, b int64) (vars, mismatches int, err error) 
 			return vars, mismatches, fmt.Errorf("variant %d: %s: %s", i, vr.Error.Code, vr.Error.Message)
 		}
 		single := SimulateRequest{WorkloadSpec: req.Variants[i].apply(base)}
-		status, payload, err := postJSON(opts.Client, opts.Target+"/v1/simulate", single)
+		status, payload, err := postJSON(d, "/v1/simulate", single)
 		if err != nil {
 			return vars, mismatches, err
 		}
@@ -447,7 +553,7 @@ func directSimulate(spec WorkloadSpec) (SimulateResult, []byte, error) {
 // membership digest diverging from the quiet one), and the quiet workload
 // must keep serving its original bytes after the mutation. Returns the
 // count of byte-wrong (stale) responses plus any transport/setup error.
-func runChurnProbe(opts LoadOptions, k int64) (stale int, err error) {
+func runChurnProbe(d *loadDialer, opts LoadOptions, k int64) (stale int, err error) {
 	quiet, churn := churnProbeSpecs(opts, k)
 	quietRes, quietWant, err := directSimulate(quiet)
 	if err != nil {
@@ -464,7 +570,7 @@ func runChurnProbe(opts LoadOptions, k int64) (stale int, err error) {
 		return 0, fmt.Errorf("churn probe: churn payload identical to quiet payload")
 	}
 	check := func(spec WorkloadSpec, want []byte) error {
-		status, payload, err := postJSON(opts.Client, opts.Target+"/v1/simulate", SimulateRequest{WorkloadSpec: spec})
+		status, payload, err := postJSON(d, "/v1/simulate", SimulateRequest{WorkloadSpec: spec})
 		if err != nil {
 			return err
 		}
@@ -502,7 +608,7 @@ func runChurnProbe(opts LoadOptions, k int64) (stale int, err error) {
 
 // runErrorChecks fires deliberately broken requests and asserts each comes
 // back with its documented HTTP status and stable error code.
-func runErrorChecks(opts LoadOptions) (checks int, failed []string) {
+func runErrorChecks(d *loadDialer, opts LoadOptions) (checks int, failed []string) {
 	expect := func(name string, wantStatus int, wantCode string, status int, payload []byte, err error) {
 		checks++
 		if err != nil {
@@ -519,7 +625,7 @@ func runErrorChecks(opts LoadOptions) (checks int, failed []string) {
 		}
 	}
 	post := func(path string, v any) (int, []byte, error) {
-		return postJSON(opts.Client, opts.Target+path, v)
+		return postJSON(d, path, v)
 	}
 
 	st, body, err := post("/v1/schedule", ScheduleRequest{WorkloadSpec: WorkloadSpec{Model: "NoSuchNet"}})
@@ -528,13 +634,13 @@ func runErrorChecks(opts LoadOptions) (checks int, failed []string) {
 	st, body, err = post("/v1/simulate", SimulateRequest{WorkloadSpec: WorkloadSpec{Model: opts.Models[0], Policy: "astrology"}})
 	expect("unknown policy", http.StatusBadRequest, CodeUnknownPolicy, st, body, err)
 
-	st, body, err = postRaw(opts.Client, opts.Target+"/v1/schedule", []byte(`{"model": `))
+	st, body, err = postRaw(d, "/v1/schedule", []byte(`{"model": `))
 	expect("malformed JSON", http.StatusBadRequest, CodeBadRequest, st, body, err)
 
-	st, body, err = getRaw(opts.Client, opts.Target+"/v1/schedule")
+	st, body, err = getRaw(d, "/v1/schedule")
 	expect("wrong method", http.StatusMethodNotAllowed, CodeMethodNotAllowed, st, body, err)
 
-	st, body, err = getRaw(opts.Client, opts.Target+"/v1/nope")
+	st, body, err = getRaw(d, "/v1/nope")
 	expect("unknown path", http.StatusNotFound, CodeNotFound, st, body, err)
 
 	st, body, err = post("/v1/batch", BatchRequest{Workload: &WorkloadSpec{Model: opts.Models[0]}})
@@ -573,8 +679,8 @@ var errMismatch = errors.New("response diverged from direct library computation"
 
 // postSchedule sends one schedule request and verifies the response payload
 // against the expected canonical bytes.
-func postSchedule(client *http.Client, target string, req ScheduleRequest, expected []byte) (cached bool, err error) {
-	status, payload, err := postJSON(client, target+"/v1/schedule", req)
+func postSchedule(d *loadDialer, req ScheduleRequest, expected []byte) (cached bool, err error) {
+	status, payload, err := postJSON(d, "/v1/schedule", req)
 	if err != nil {
 		return false, err
 	}
@@ -596,39 +702,97 @@ func postSchedule(client *http.Client, target string, req ScheduleRequest, expec
 	return sr.Cached, nil
 }
 
+// loadDialer routes loadtest requests at the target set. Single-target mode
+// is exactly the old behavior: one URL, no retries. Fleet mode spreads
+// calls round-robin across the member URLs and absorbs the transients a
+// mid-load node kill produces — connection failures to the dying node, and
+// 503 fleet_unavailable from a survivor whose forward chain still lists it
+// — by retrying the call on the other members, with a short pause so the
+// health layer has probe cycles to mark the peer down. The fleet's answer
+// is byte-identical on every member, so failover never weakens the
+// verification: a retried response is checked against the same reference.
+type loadDialer struct {
+	client  *http.Client
+	targets []string
+	next    atomic.Uint64
+	retries atomic.Int64
+}
+
+func newLoadDialer(opts LoadOptions) *loadDialer {
+	targets := opts.FleetTargets
+	if len(targets) == 0 {
+		targets = []string{opts.Target}
+	}
+	return &loadDialer{client: opts.Client, targets: targets}
+}
+
+// retryPause is the wait between fleet failover attempts: a few health
+// probe intervals, so a dead member leaves every survivor's ring while the
+// loadtest waits instead of burning its attempts.
+const retryPause = 150 * time.Millisecond
+
+// do performs one logical request, failing over across fleet targets.
+func (d *loadDialer) do(method, path string, body []byte) (int, []byte, error) {
+	start := int(d.next.Add(1) - 1)
+	tries := 1
+	if len(d.targets) > 1 {
+		tries = 3 * len(d.targets)
+	}
+	var lastErr error
+	for t := 0; t < tries; t++ {
+		target := d.targets[(start+t)%len(d.targets)]
+		status, payload, err := doOnce(d.client, method, target+path, body)
+		if err == nil && !(status == http.StatusServiceUnavailable && bytes.Contains(payload, []byte(CodeFleetUnavailable))) {
+			return status, payload, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("status %d: %s", status, payload)
+		}
+		if t < tries-1 {
+			d.retries.Add(1)
+			time.Sleep(retryPause)
+		}
+	}
+	return 0, nil, fmt.Errorf("all %d targets failed: %w", len(d.targets), lastErr)
+}
+
+func doOnce(client *http.Client, method, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, payload, nil
+}
+
 // postJSON marshals v and POSTs it, returning the status and body.
-func postJSON(client *http.Client, url string, v any) (int, []byte, error) {
+func postJSON(d *loadDialer, path string, v any) (int, []byte, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return 0, nil, err
 	}
-	return postRaw(client, url, body)
+	return postRaw(d, path, body)
 }
 
-func postRaw(client *http.Client, url string, body []byte) (int, []byte, error) {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-	if err != nil {
-		return 0, nil, err
-	}
-	return resp.StatusCode, payload, nil
+func postRaw(d *loadDialer, path string, body []byte) (int, []byte, error) {
+	return d.do(http.MethodPost, path, body)
 }
 
-func getRaw(client *http.Client, url string) (int, []byte, error) {
-	resp, err := client.Get(url)
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-	if err != nil {
-		return 0, nil, err
-	}
-	return resp.StatusCode, payload, nil
+func getRaw(d *loadDialer, path string) (int, []byte, error) {
+	return d.do(http.MethodGet, path, nil)
 }
 
 func fetchMetrics(client *http.Client, target string) (*MetricsResponse, error) {

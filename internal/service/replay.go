@@ -275,6 +275,7 @@ func replayOnce(opts ReplayOptions, w *trace.Workload, target string, requests m
 	curve := &ReplayCurve{Requests: len(w.Events)}
 	var failures, mismatches, cached atomic.Int64
 	lat := stats.NewLatencyRecorder(len(w.Events))
+	dialer := &loadDialer{client: opts.Client, targets: []string{target}}
 
 	// Open-loop dispatch: the feeder releases events on the trace's clock
 	// (scaled by Timescale) regardless of completions; workers drain a
@@ -289,7 +290,7 @@ func replayOnce(opts ReplayOptions, w *trace.Workload, target string, requests m
 			for e := range events {
 				k := e.Key()
 				t0 := time.Now()
-				gotCached, err := postSchedule(opts.Client, target, requests[k], expected[k])
+				gotCached, err := postSchedule(dialer, requests[k], expected[k])
 				lat.Observe(time.Since(t0).Seconds())
 				switch {
 				case errors.Is(err, errMismatch):

@@ -39,6 +39,7 @@ package service
 
 import (
 	"encoding/json"
+	"net/http"
 	"reflect"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,7 @@ import (
 	"tictac/internal/cache"
 	"tictac/internal/cluster"
 	"tictac/internal/core"
+	"tictac/internal/fleet"
 	"tictac/internal/stats"
 )
 
@@ -72,6 +74,17 @@ type Options struct {
 	// BatchJobs is the worker-pool width batch variants fan out on. <= 0
 	// selects engine.DefaultJobs. Results are bit-identical at any width.
 	BatchJobs int
+	// Fleet, when non-nil, puts the service in fleet mode: requests whose
+	// routing key hashes to another member are transparently forwarded,
+	// /v1/fleet, /v1/fleet/warm and /v1/drain are served, and /metrics
+	// gains the fleet section. See docs/fleet.md.
+	Fleet *fleet.Node
+	// FleetHedgeTimeout is how long a forward waits on the owner before
+	// hedging to the next replica (<= 0 selects the forwarder default).
+	FleetHedgeTimeout time.Duration
+	// FleetClient is the HTTP client forwards and drain streaming use
+	// (nil selects a default with a 10s timeout).
+	FleetClient *http.Client
 }
 
 // Default cache geometry: capacities sized for the Table 1 catalog times a
@@ -107,6 +120,15 @@ type Service struct {
 	scheduleBuildHook func()
 
 	endpoints map[string]*endpointMetrics
+
+	// Fleet mode (nil/zero outside it): the membership/health node, the
+	// hedged forwarder, the client drain streaming uses, and the draining
+	// latch (set by Drain; a draining node stops forwarding and serves
+	// everything locally while its entries stream out).
+	fleet       *fleet.Node
+	forwarder   *fleet.Forwarder
+	fleetClient *http.Client
+	draining    atomic.Bool
 }
 
 // clusterEntry is a built cluster plus the digests derived from it once.
@@ -135,11 +157,14 @@ type scheduleKey struct {
 
 // scheduleEntry is a computed schedule plus its canonical response payload.
 // payload is marshaled exactly once at build time, so every response for
-// this key — hit, miss or coalesced — serves the same bytes.
+// this key — hit, miss or coalesced — serves the same bytes. spec is the
+// workload that produced the entry; fleet drain streams it to the entry's
+// new owner, which recomputes the same bytes deterministically.
 type scheduleEntry struct {
 	sched   *core.Schedule
 	result  ScheduleResult
 	payload []byte
+	spec    WorkloadSpec
 }
 
 // New returns a Service with the given options.
@@ -184,6 +209,17 @@ func New(opts Options) *Service {
 	}
 	for _, name := range []string{"schedule", "simulate", "batch", "policies", "healthz", "metrics"} {
 		s.endpoints[name] = &endpointMetrics{lat: stats.NewLatencyRecorder(opts.LatencyWindow)}
+	}
+	if opts.Fleet != nil {
+		s.fleet = opts.Fleet
+		s.fleetClient = opts.FleetClient
+		if s.fleetClient == nil {
+			s.fleetClient = &http.Client{Timeout: 10 * time.Second}
+		}
+		s.forwarder = fleet.NewForwarder(s.fleet, s.fleetClient, opts.FleetHedgeTimeout)
+		for _, name := range []string{"fleet", "warm", "drain"} {
+			s.endpoints[name] = &endpointMetrics{lat: stats.NewLatencyRecorder(opts.LatencyWindow)}
+		}
 	}
 	return s
 }
@@ -342,7 +378,7 @@ func computeScheduleResult(ce *clusterEntry, r resolved) (*scheduleEntry, error)
 	if err != nil {
 		return nil, err
 	}
-	return &scheduleEntry{sched: sc, result: result, payload: payload}, nil
+	return &scheduleEntry{sched: sc, result: result, payload: payload, spec: r.spec}, nil
 }
 
 // scheduleFor returns the cached schedule entry for a resolved spec on an

@@ -174,6 +174,10 @@ type clusterKey struct {
 // resolved is a validated, normalized spec: the exact cluster build
 // configuration, its cache key, and every run knob the handlers consume.
 type resolved struct {
+	// spec is the workload as requested — kept so a cached entry can be
+	// re-described on the wire (fleet drain streams specs, not payloads,
+	// and the receiver recomputes deterministically).
+	spec   WorkloadSpec
 	key    clusterKey
 	cfg    cluster.Config
 	mode   string
@@ -376,6 +380,7 @@ func (spec WorkloadSpec) resolve() (resolved, error) {
 			return r, badRequest("%v", err)
 		}
 	}
+	r.spec = spec
 	r.warmup = spec.Warmup
 	r.seed = spec.Seed
 	r.key = clusterKey{
@@ -390,6 +395,19 @@ func (spec WorkloadSpec) resolve() (resolved, error) {
 		membershipDigest: r.membershipDigest,
 	}
 	return r, nil
+}
+
+// fleetKey is the consistent-hash routing key: the clusterKey composite —
+// the graph-shaping tuple (which determines core.GraphDigest injectively,
+// so a non-owner never parses a graph just to route), the platform digest
+// (core.PlatformDigest / PlatformMapDigest) and the membership digest
+// (cluster.EventsDigest). Policy, warmup and seed are deliberately absent:
+// every run knob over one workload routes to the same home node, so that
+// node's cache amortizes the shared cluster build and the fleet-wide hit
+// rate approaches single-node. clusterKey is a flat struct of comparable
+// scalars, so %v renders it stably.
+func (r resolved) fleetKey() string {
+	return fmt.Sprintf("%v", r.key)
 }
 
 // scenarioKey identifies everything about a resolved spec except the

@@ -23,6 +23,8 @@
 //     (internal/cluster)
 //   - NewService: the tictacd HTTP scheduling daemon — cached,
 //     request-coalescing schedule/simulate/batch endpoints (internal/service)
+//   - NewFleetNode: sharded multi-node deployment — consistent-hash cache
+//     routing, peer health, hedged forwarding, graceful drain (internal/fleet)
 //
 // Quickstart:
 //
@@ -44,6 +46,7 @@ import (
 	"tictac/internal/cache"
 	"tictac/internal/cluster"
 	"tictac/internal/core"
+	"tictac/internal/fleet"
 	"tictac/internal/graph"
 	"tictac/internal/model"
 	"tictac/internal/sched"
@@ -168,6 +171,19 @@ type (
 	// latency curves per eviction policy × cache size, plus the offline
 	// pure-cache shootout with the Belady oracle.
 	ServiceReplayReport = service.ReplayReport
+
+	// FleetMember identifies one tictacd node in a sharded fleet.
+	FleetMember = fleet.Member
+	// FleetConfig configures a fleet node: static membership seed, probe
+	// cadence and health thresholds (internal/fleet; see docs/fleet.md).
+	FleetConfig = fleet.Config
+	// FleetNode tracks fleet membership and peer health and owns the
+	// consistent-hash ring; pass it to ServiceOptions.Fleet to make a
+	// SchedulingService route workloads to their home nodes.
+	FleetNode = fleet.Node
+	// FleetView is a node's live view of the fleet: per-peer status and
+	// forwarding counters, served on GET /v1/fleet and inside /metrics.
+	FleetView = fleet.View
 
 	// CacheEvictionPolicy is the pluggable eviction-policy interface behind
 	// the service's caches; register implementations with
@@ -308,6 +324,12 @@ func GraphDOT(g *Graph, title string) string { return graph.DOT(g, title) }
 // NewService returns the tictacd scheduling service; mount its Handler()
 // on any HTTP server. See docs/service.md for the API and cache semantics.
 func NewService(opts ServiceOptions) *SchedulingService { return service.New(opts) }
+
+// NewFleetNode returns the membership/health tracker for one member of a
+// sharded tictacd fleet. Wire it into ServiceOptions.Fleet and call Start
+// to run the health probe loop. See docs/fleet.md for ring semantics, the
+// health state machine and the drain protocol.
+func NewFleetNode(cfg FleetConfig) (*FleetNode, error) { return fleet.NewNode(cfg) }
 
 // RunServiceLoad drives the deterministic load generator against a running
 // service and verifies every response against direct library computation.
